@@ -1,0 +1,115 @@
+/// Ablation: the basis-function set of Eq. (1). Compares the paper's full
+/// 7-function set against restricted families (linear-only, log-only,
+/// polynomial-only) on fit quality over device curves and on the makespan
+/// PLB-HeC achieves with each.
+
+#include "bench_common.hpp"
+#include "plbhec/fit/least_squares.hpp"
+
+namespace {
+
+using namespace plbhec;
+
+struct BasisVariant {
+  const char* label;
+  std::vector<fit::BasisFn> terms;
+};
+
+const std::vector<BasisVariant> kVariants{
+    {"paper set (7 fn)",
+     {fit::BasisFn::kX, fit::BasisFn::kXLnX, fit::BasisFn::kLnX,
+      fit::BasisFn::kX2, fit::BasisFn::kX3, fit::BasisFn::kExpX,
+      fit::BasisFn::kXExpX}},
+    {"linear only", {fit::BasisFn::kX}},
+    {"log family", {fit::BasisFn::kLnX, fit::BasisFn::kXLnX}},
+    {"polynomial", {fit::BasisFn::kX, fit::BasisFn::kX2, fit::BasisFn::kX3}},
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace plbhec;
+  const Cli cli(argc, argv);
+  const auto reps =
+      static_cast<std::size_t>(cli.get_int("reps", cli.full() ? 10 : 3));
+  bench::print_header("Ablation — basis set for F_p[x] (MatMul 16384)",
+                      sim::scenario(4, true));
+
+  // Fit quality on the true K20c matmul curve.
+  apps::MatMulWorkload mm(16384);
+  sim::SimCluster cluster(sim::scenario(4, true));
+  const auto& gpu = cluster.unit(1);
+  Rng rng(5);
+  sim::NoiseModel noise;
+  fit::SampleSet samples;
+  for (double x = 1.0 / 512.0; x < 0.12; x *= 1.8)
+    samples.add(x, noise.perturb_exec(gpu.device->execution_seconds(
+                                          mm.profile(), x * 16384.0),
+                                      rng));
+
+  Table fit_table({"basis", "R^2", "rel. err @ x=0.25 (extrapolated)"});
+  for (const auto& variant : kVariants) {
+    const fit::FitResult f = fit::select_model_from(samples, variant.terms);
+    const double truth =
+        gpu.device->execution_seconds(mm.profile(), 0.25 * 16384.0);
+    const double rel =
+        f.model.valid() ? std::fabs(f.model(0.25) - truth) / truth : 1.0;
+    fit_table.row().add(variant.label).add(f.r2, 4).add(rel, 3);
+  }
+  std::printf("\nFit quality on the K20c matmul curve:\n");
+  fit_table.print();
+
+  // End-to-end makespan with each basis.
+  Table mk({"basis", "PLB-HeC makespan [s]"});
+  for (const auto& variant : kVariants) {
+    RunningStats stats;
+    for (std::size_t rep = 0; rep < reps; ++rep) {
+      apps::MatMulWorkload w(16384);
+      rt::EngineOptions eopts;
+      eopts.seed = 5000 + rep;
+      eopts.record_trace = false;
+      sim::SimCluster c(sim::scenario(4, true));
+      rt::SimEngine engine(c, eopts);
+      core::PlbHecScheduler plb;  // default uses the paper set
+      if (variant.terms.size() == 7) {
+        const rt::RunResult r = engine.run(w, plb);
+        if (r.ok) stats.add(r.makespan);
+      } else {
+        // Restricted fits are applied by narrowing the candidate list.
+        core::PlbHecOptions opts;
+        core::PlbHecScheduler restricted(opts);
+        const rt::RunResult r = engine.run(w, restricted);
+        // The scheduler API keeps the paper set internally; emulate the
+        // restriction by refitting its samples and re-solving.
+        if (!r.ok) continue;
+        std::vector<fit::PerfModel> models;
+        bool valid = true;
+        for (rt::UnitId u = 0; u < c.size(); ++u) {
+          fit::PerfModel m;
+          m.exec = fit::select_model_from(
+                       restricted.profiles().exec_samples(u), variant.terms)
+                       .model;
+          m.transfer =
+              fit::fit_transfer(restricted.profiles().transfer_samples(u));
+          valid = valid && m.valid();
+          models.push_back(m);
+        }
+        if (!valid) continue;
+        const auto sel = solver::select_block_sizes(models);
+        if (!sel.ok) continue;
+        // Run a static schedule with those shares to price the fit error.
+        baselines::StaticProfileScheduler sched(sel.fractions);
+        const rt::RunResult rs = engine.run(w, sched);
+        if (rs.ok) stats.add(rs.makespan);
+      }
+    }
+    mk.row().add(variant.label).add(stats.mean(), 4);
+  }
+  std::printf("\nEnd-to-end cost of the selected distribution:\n");
+  mk.print();
+  std::printf(
+      "\nExpected: the full set and the log family capture the GPU warmup\n"
+      "curvature; linear-only overestimates large-block times and degrades\n"
+      "the split when the operating point is far from the probes.\n");
+  return 0;
+}

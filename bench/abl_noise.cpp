@@ -1,0 +1,61 @@
+/// Ablation: measurement-noise sensitivity. The paper ran on dedicated
+/// resources ("the standard deviations ... were small"); here we sweep
+/// the log-normal noise level of the simulated measurements and watch how
+/// each balancer's makespan and PLB-HeC's solver activity respond. This
+/// quantifies how much of PLB-HeC's advantage survives noisy profiling.
+
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace plbhec;
+  const Cli cli(argc, argv);
+  const auto reps =
+      static_cast<std::size_t>(cli.get_int("reps", cli.full() ? 10 : 3));
+  const std::size_t n = cli.full() ? 65536 : 16384;
+
+  bench::print_header("Ablation — measurement-noise sensitivity (MatMul)",
+                      sim::scenario(4, true));
+
+  Table t({"sigma", "PLB-HeC [s]", "HDSS [s]", "Greedy [s]", "sp(PLB)",
+           "PLB solves", "PLB rebalances"});
+  for (double sigma : {0.0, 0.01, 0.02, 0.05, 0.10, 0.20}) {
+    RunningStats plb_ms, hdss_ms, greedy_ms, solves, rebalances;
+    for (std::size_t rep = 0; rep < reps; ++rep) {
+      apps::MatMulWorkload w(n);
+      sim::SimCluster cluster(sim::scenario(4, true));
+      rt::EngineOptions opts;
+      opts.seed = 8000 + rep;
+      opts.record_trace = false;
+      opts.noise.exec_sigma = sigma;
+      opts.noise.transfer_sigma = sigma * 1.5;
+      rt::SimEngine engine(cluster, opts);
+
+      core::PlbHecScheduler plb;
+      const rt::RunResult rp = engine.run(w, plb);
+      baselines::HdssScheduler hdss;
+      const rt::RunResult rh = engine.run(w, hdss);
+      baselines::GreedyScheduler greedy;
+      const rt::RunResult rg = engine.run(w, greedy);
+      if (!rp.ok || !rh.ok || !rg.ok) continue;
+      plb_ms.add(rp.makespan);
+      hdss_ms.add(rh.makespan);
+      greedy_ms.add(rg.makespan);
+      solves.add(static_cast<double>(plb.stats().solves));
+      rebalances.add(static_cast<double>(plb.stats().rebalances));
+    }
+    t.row()
+        .add(sigma, 2)
+        .add(plb_ms.mean(), 3)
+        .add(hdss_ms.mean(), 3)
+        .add(greedy_ms.mean(), 3)
+        .add(greedy_ms.mean() / plb_ms.mean(), 2)
+        .add(solves.mean(), 1)
+        .add(rebalances.mean(), 1);
+  }
+  t.print();
+  std::printf(
+      "\nExpected: the advantage persists through realistic noise (2-5%%);\n"
+      "heavy noise (>=10%%) degrades the fits and triggers threshold\n"
+      "activity, eroding — but not inverting — the gap to Greedy.\n");
+  return 0;
+}

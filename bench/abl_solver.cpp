@@ -1,0 +1,102 @@
+/// Ablation: interior-point vs analytic equal-time solver. Verifies the
+/// two agree on well-conditioned systems (they solve the same equations),
+/// measures their cost across unit counts, and reports how often the
+/// interior-point path needs its fallback.
+
+#include <chrono>
+
+#include "bench_common.hpp"
+#include "plbhec/solver/block_selection.hpp"
+#include "plbhec/solver/equal_time.hpp"
+
+namespace {
+
+using namespace plbhec;
+
+std::vector<fit::PerfModel> random_models(std::size_t n, Rng& rng) {
+  std::vector<fit::PerfModel> models;
+  for (std::size_t u = 0; u < n; ++u) {
+    fit::PerfModel m;
+    const int family = static_cast<int>(rng.uniform_int(0, 2));
+    if (family == 0) {
+      m.exec.terms = {fit::BasisFn::kOne, fit::BasisFn::kX};
+      m.exec.coefficients = {rng.uniform(0.0, 0.05),
+                             rng.uniform(10.0, 5000.0)};
+    } else if (family == 1) {
+      m.exec.terms = {fit::BasisFn::kOne, fit::BasisFn::kX,
+                      fit::BasisFn::kXLnX};
+      m.exec.coefficients = {rng.uniform(0.0, 0.05),
+                             rng.uniform(10.0, 2000.0),
+                             rng.uniform(0.0, 50.0)};
+    } else {
+      m.exec.terms = {fit::BasisFn::kOne, fit::BasisFn::kX, fit::BasisFn::kX2};
+      m.exec.coefficients = {rng.uniform(0.0, 0.05),
+                             rng.uniform(10.0, 2000.0),
+                             rng.uniform(0.0, 500.0)};
+    }
+    m.transfer.slope = rng.uniform(5.0, 30.0);
+    m.transfer.latency = rng.uniform(0.0, 0.005);
+    models.push_back(m);
+  }
+  return models;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace plbhec;
+  const Cli cli(argc, argv);
+  const auto trials =
+      static_cast<std::size_t>(cli.get_int("trials", cli.full() ? 200 : 50));
+
+  std::printf("=== Ablation — interior-point vs analytic equal-time ===\n");
+  Table t({"units", "max |x_ip - x_analytic|", "max time spread (IP)",
+           "IP ms (mean)", "analytic ms (mean)", "fallbacks"});
+  Rng rng(11);
+  for (std::size_t n : {2u, 4u, 8u, 16u}) {
+    RunningStats diff, spread, ip_ms, an_ms;
+    std::size_t fallbacks = 0;
+    for (std::size_t trial = 0; trial < trials; ++trial) {
+      const auto models = random_models(n, rng);
+
+      const auto t0 = std::chrono::steady_clock::now();
+      const auto sel = solver::select_block_sizes(models);
+      const auto t1 = std::chrono::steady_clock::now();
+      const auto eq = solver::solve_equal_time(models);
+      const auto t2 = std::chrono::steady_clock::now();
+      if (!sel.ok || !eq.ok) continue;
+      if (sel.used_fallback) ++fallbacks;
+
+      double worst = 0.0;
+      for (std::size_t u = 0; u < n; ++u)
+        worst = std::max(worst,
+                         std::fabs(sel.fractions[u] - eq.fractions[u]));
+      diff.add(worst);
+
+      double tmin = 1e300, tmax = 0.0;
+      for (std::size_t u = 0; u < n; ++u) {
+        const double tu = models[u].total_time(sel.fractions[u]);
+        tmin = std::min(tmin, tu);
+        tmax = std::max(tmax, tu);
+      }
+      spread.add((tmax - tmin) / std::max(tmax, 1e-12));
+      ip_ms.add(std::chrono::duration<double, std::milli>(t1 - t0).count());
+      an_ms.add(std::chrono::duration<double, std::milli>(t2 - t1).count());
+    }
+    t.row()
+        .add(n)
+        .add(diff.max(), 4)
+        .add(spread.max(), 4)
+        .add(ip_ms.mean(), 3)
+        .add(an_ms.mean(), 3)
+        .add(fallbacks);
+  }
+  t.print();
+  std::printf(
+      "\nExpected: both solvers agree to a few percent, the equal-time\n"
+      "constraint is met (small spread), and fallbacks are rare. The paper\n"
+      "reports 170 +- 32 ms per IPOPT solve on 2015 hardware; our dense\n"
+      "solver at 8-10 units is far cheaper, so the overhead argument of\n"
+      "§V-a holds a fortiori.\n");
+  return 0;
+}

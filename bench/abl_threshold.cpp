@@ -1,0 +1,63 @@
+/// Ablation: the rebalance-threshold sweep. The paper: "Small thresholds
+/// may cause excessive rebalancing while large thresholds may tolerate
+/// larger imbalances ... values of about 10% of the execution time of a
+/// single block results in a good trade-off." Sweeps the threshold on a
+/// stable cluster and under mid-run QoS drift.
+
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace plbhec;
+
+void sweep(const char* label, bool drift, std::size_t reps) {
+  Table t({"threshold", "makespan [s]", "rebalances", "solves"});
+  for (double thr : {0.02, 0.05, 0.10, 0.15, 0.25, 0.50, 1e9}) {
+    RunningStats makespans;
+    RunningStats rebalances;
+    RunningStats solves;
+    for (std::size_t rep = 0; rep < reps; ++rep) {
+      apps::GrnWorkload w(apps::GrnWorkload::paper_instance(60'000));
+      sim::SimCluster cluster(sim::scenario(4, false));
+      if (drift) cluster.add_speed_event(7, 0.06, 0.3);
+      rt::EngineOptions eopts;
+      eopts.seed = 4000 + rep;
+      eopts.record_trace = false;
+      rt::SimEngine engine(cluster, eopts);
+      core::PlbHecOptions opts;
+      opts.rebalance_threshold = thr;
+      opts.step_fraction = 0.0625;
+      core::PlbHecScheduler plb(opts);
+      const rt::RunResult r = engine.run(w, plb);
+      if (!r.ok) continue;
+      makespans.add(r.makespan);
+      rebalances.add(static_cast<double>(plb.stats().rebalances));
+      solves.add(static_cast<double>(plb.stats().solves));
+    }
+    t.row()
+        .add(thr > 100 ? std::string("off") : format_double(thr, 2))
+        .add(makespans.mean(), 4)
+        .add(rebalances.mean(), 1)
+        .add(solves.mean(), 1);
+  }
+  std::printf("\n%s:\n", label);
+  t.print();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace plbhec;
+  const Cli cli(argc, argv);
+  const auto reps =
+      static_cast<std::size_t>(cli.get_int("reps", cli.full() ? 10 : 3));
+  bench::print_header("Ablation — rebalance threshold sweep (GRN 60k)",
+                      sim::scenario(4, false));
+  sweep("Stable cluster (paper: threshold should never fire)", false, reps);
+  sweep("QoS drift: D.gpu0 drops to 0.3x mid-run", true, reps);
+  std::printf(
+      "\nExpected: on the stable cluster small thresholds fire spurious\n"
+      "rebalances (each costs a drain) while large ones never fire; under\n"
+      "drift a moderate threshold reacts without thrashing.\n");
+  return 0;
+}

@@ -1,0 +1,107 @@
+#pragma once
+/// Shared support for the figure-reproduction benches: scheduler
+/// factories, repeated-run aggregation and paper-style table headers.
+
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "plbhec/apps/blackscholes.hpp"
+#include "plbhec/apps/grn.hpp"
+#include "plbhec/apps/matmul.hpp"
+#include "plbhec/baselines/acosta.hpp"
+#include "plbhec/baselines/greedy.hpp"
+#include "plbhec/baselines/hdss.hpp"
+#include "plbhec/baselines/static_profile.hpp"
+#include "plbhec/common/cli.hpp"
+#include "plbhec/common/stats.hpp"
+#include "plbhec/common/table.hpp"
+#include "plbhec/core/plb_hec.hpp"
+#include "plbhec/metrics/metrics.hpp"
+#include "plbhec/rt/engine.hpp"
+#include "plbhec/sim/machine.hpp"
+
+namespace plbhec::bench {
+
+inline const std::vector<std::string> kAlgorithms{"PLB-HeC", "Acosta", "HDSS",
+                                                  "Greedy"};
+
+inline std::unique_ptr<rt::Scheduler> make_scheduler(const std::string& name) {
+  if (name == "PLB-HeC") return std::make_unique<core::PlbHecScheduler>();
+  if (name == "Acosta") return std::make_unique<baselines::AcostaScheduler>();
+  if (name == "HDSS") return std::make_unique<baselines::HdssScheduler>();
+  return std::make_unique<baselines::GreedyScheduler>();
+}
+
+struct RepeatedRun {
+  double mean = 0.0;
+  double stddev = 0.0;
+};
+
+/// Runs `make_workload()` under `scheduler_name` on `machines` machines,
+/// `reps` times with distinct seeds; returns makespan statistics.
+inline RepeatedRun run_repeated(
+    const std::function<std::unique_ptr<rt::Workload>()>& make_workload,
+    const std::string& scheduler_name, std::size_t machines, std::size_t reps,
+    bool dual_gpus = false) {
+  RunningStats stats;
+  for (std::size_t rep = 0; rep < reps; ++rep) {
+    sim::SimCluster cluster(sim::scenario(machines, dual_gpus));
+    rt::EngineOptions opts;
+    opts.seed = 1000 + rep;
+    opts.record_trace = false;
+    rt::SimEngine engine(cluster, opts);
+    auto workload = make_workload();
+    auto scheduler = make_scheduler(scheduler_name);
+    const rt::RunResult r = engine.run(*workload, *scheduler);
+    if (!r.ok) {
+      std::fprintf(stderr, "bench run failed (%s, %zu machines): %s\n",
+                   scheduler_name.c_str(), machines, r.error.c_str());
+      continue;
+    }
+    stats.add(r.makespan);
+  }
+  return {stats.mean(), stats.stddev()};
+}
+
+inline void print_header(const std::string& title,
+                         const std::vector<sim::MachineConfig>& machines) {
+  std::printf("=== %s ===\n", title.c_str());
+  std::printf("%s\n", sim::table1_string(machines).c_str());
+}
+
+/// Execution-time + speedup-vs-greedy table for one application across
+/// machine counts and input sizes (the layout of Figs. 4 and 5).
+inline void exec_time_figure(
+    const std::string& app_label,
+    const std::vector<std::size_t>& sizes,
+    const std::function<std::unique_ptr<rt::Workload>(std::size_t)>& make,
+    std::size_t reps, bool dual_gpus) {
+  for (std::size_t machines : {1u, 2u, 3u, 4u}) {
+    Table t({"Input", "PLB-HeC [s]", "Acosta [s]", "HDSS [s]", "Greedy [s]",
+             "sp(PLB)", "sp(Acosta)", "sp(HDSS)"});
+    for (std::size_t size : sizes) {
+      std::vector<RepeatedRun> results;
+      for (const auto& algo : kAlgorithms)
+        results.push_back(run_repeated([&] { return make(size); }, algo,
+                                       machines, reps, dual_gpus));
+      const double greedy = results[3].mean;
+      t.row()
+          .add(std::to_string(size))
+          .add(results[0].mean, 4)
+          .add(results[1].mean, 4)
+          .add(results[2].mean, 4)
+          .add(results[3].mean, 4)
+          .add(greedy / results[0].mean, 2)
+          .add(greedy / results[1].mean, 2)
+          .add(greedy / results[2].mean, 2);
+    }
+    std::printf("\n%s — %zu machine(s), speedups relative to Greedy:\n",
+                app_label.c_str(), machines);
+    t.print();
+  }
+}
+
+}  // namespace plbhec::bench

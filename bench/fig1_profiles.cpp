@@ -1,0 +1,81 @@
+/// Reproduces Fig. 1: measured execution-time points and the fitted model
+/// curves for a GPU and a CPU, for Black-Scholes and matrix multiplication
+/// (machine A's Tesla K20c and Xeon E5-2690V2). Prints measured-vs-model
+/// tables and the selected formula per unit.
+
+#include <memory>
+
+#include "bench_common.hpp"
+#include "plbhec/fit/least_squares.hpp"
+
+namespace {
+
+using namespace plbhec;
+
+void profile_app(const std::string& label, rt::Workload& workload,
+                 std::size_t samples_per_unit) {
+  sim::SimCluster cluster(sim::scenario(1));  // machine A: CPU + K20c
+  Rng rng(7);
+  sim::NoiseModel noise;
+
+  std::printf("\n--- %s ---\n", label.c_str());
+  for (std::size_t u = 0; u < cluster.size(); ++u) {
+    const auto& su = cluster.unit(u);
+    fit::SampleSet exec_samples;
+    const double total = static_cast<double>(workload.total_grains());
+    Table t({"block (grains)", "fraction", "measured F [s]", "model F [s]"});
+
+    // Exponentially spaced block sizes, like the modeling phase.
+    std::vector<double> fractions;
+    double f = 1.0 / 1024.0;
+    for (std::size_t i = 0; i < samples_per_unit; ++i) {
+      fractions.push_back(f);
+      f *= 1.7;
+      if (f > 0.45) break;
+    }
+    for (double frac : fractions) {
+      const double grains = frac * total;
+      const double t_exec = noise.perturb_exec(
+          su.device->execution_seconds(workload.profile(), grains), rng);
+      exec_samples.add(frac, t_exec);
+    }
+    const fit::FitResult fitres = fit::select_model(exec_samples);
+    for (const auto& s : exec_samples.items()) {
+      t.row()
+          .add(static_cast<std::size_t>(s.x * total))
+          .add(s.x, 5)
+          .add(s.time, 6)
+          .add(fitres.model.valid() ? fitres.model(s.x) : 0.0, 6);
+    }
+    std::printf("%s (%s):\n", su.name.c_str(),
+                su.device->description().c_str());
+    t.print();
+    std::printf("  fitted F_p[x] = %s   (R^2 = %.4f%s)\n",
+                fitres.model.to_string().c_str(), fitres.r2,
+                fitres.acceptable ? ", accepted" : ", below 0.7");
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace plbhec;
+  const Cli cli(argc, argv);
+  const bool full = cli.full();
+  bench::print_header(
+      "Fig. 1 — Execution times and performance models (machine A)",
+      sim::scenario(1));
+
+  apps::BlackScholesWorkload bs(
+      apps::BlackScholesWorkload::paper_instance(full ? 500'000 : 100'000));
+  profile_app("Black-Scholes", bs, full ? 14 : 10);
+
+  apps::MatMulWorkload mm(full ? 32768 : 16384);
+  profile_app("Matrix multiplication", mm, full ? 14 : 10);
+
+  std::printf(
+      "\nShape check vs the paper: the GPU curves bend (launch overhead +\n"
+      "warmup at small blocks, linear beyond), the CPU curves are close to\n"
+      "affine; different basis subsets are selected accordingly.\n");
+  return 0;
+}

@@ -1,0 +1,30 @@
+/// Reproduces Fig. 4 (GRN inference): execution time and speedup relative
+/// to Greedy for 1-4 machines, 60,000-140,000 genes (paper range).
+
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace plbhec;
+  const Cli cli(argc, argv);
+  const bool full = cli.full();
+  const auto reps =
+      static_cast<std::size_t>(cli.get_int("reps", full ? 10 : 3));
+  const std::vector<std::size_t> sizes =
+      full ? std::vector<std::size_t>{60'000, 80'000, 100'000, 120'000,
+                                      140'000}
+           : std::vector<std::size_t>{60'000, 140'000};
+
+  bench::print_header("Fig. 4 — GRN inference execution time",
+                      sim::scenario(4, true));
+  bench::exec_time_figure(
+      "GRN", sizes,
+      [](std::size_t genes) {
+        return std::make_unique<apps::GrnWorkload>(
+            apps::GrnWorkload::paper_instance(genes));
+      },
+      reps, /*dual_gpus=*/true);
+  std::printf(
+      "\nPaper reference: speedups consistently above 1.2x for 3+ machines "
+      "(except GRN with 3 machines).\n");
+  return 0;
+}

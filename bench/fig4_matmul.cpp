@@ -1,0 +1,30 @@
+/// Reproduces Fig. 4 (matrix multiplication): execution time and speedup
+/// relative to the Greedy scheduler for 1-4 machines across input sizes.
+/// Paper setup: matrices 4096^2 .. 65536^2, dual-GPU boards active.
+/// `--quick` (default) sweeps reduced sizes; `--full` the paper's range.
+
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace plbhec;
+  const Cli cli(argc, argv);
+  const bool full = cli.full();
+  const auto reps =
+      static_cast<std::size_t>(cli.get_int("reps", full ? 10 : 3));
+  const std::vector<std::size_t> sizes =
+      full ? std::vector<std::size_t>{4096, 8192, 16384, 32768, 65536}
+           : std::vector<std::size_t>{4096, 16384, 65536};
+
+  bench::print_header("Fig. 4 — Matrix Multiplication execution time",
+                      sim::scenario(4, true));
+  bench::exec_time_figure(
+      "MatMul", sizes,
+      [](std::size_t n) {
+        return std::make_unique<apps::MatMulWorkload>(n);
+      },
+      reps, /*dual_gpus=*/true);
+  std::printf(
+      "\nPaper reference (65536, 4 machines): PLB-HeC 2.2x, HDSS 1.2x, "
+      "Acosta 1.04x vs Greedy.\n");
+  return 0;
+}

@@ -1,0 +1,31 @@
+/// Reproduces Fig. 5 (Black-Scholes): execution time and speedup relative
+/// to Greedy for 1-4 machines, 10,000-500,000 options (paper range), using
+/// the Monte Carlo pricing kernel (the paper's "random walk term").
+
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace plbhec;
+  const Cli cli(argc, argv);
+  const bool full = cli.full();
+  const auto reps =
+      static_cast<std::size_t>(cli.get_int("reps", full ? 10 : 3));
+  const std::vector<std::size_t> sizes =
+      full ? std::vector<std::size_t>{10'000, 50'000, 100'000, 250'000,
+                                      500'000}
+           : std::vector<std::size_t>{50'000, 500'000};
+
+  bench::print_header("Fig. 5 — Black-Scholes execution time",
+                      sim::scenario(4, true));
+  bench::exec_time_figure(
+      "BlackScholes", sizes,
+      [](std::size_t options) {
+        return std::make_unique<apps::BlackScholesWorkload>(
+            apps::BlackScholesWorkload::paper_instance(options));
+      },
+      reps, /*dual_gpus=*/true);
+  std::printf(
+      "\nPaper reference: smaller but consistent gains for PLB-HeC; greedy "
+      "can win for the smallest inputs.\n");
+  return 0;
+}

@@ -1,0 +1,99 @@
+/// Reproduces Fig. 6: the block-size distribution across the 8 processing
+/// units (CPU + GPU of machines A-D, one GPU per machine) selected by
+/// Acosta, HDSS and PLB-HeC, for two input sizes per application,
+/// normalized to 1. Mean and standard deviation over repeated runs.
+
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace plbhec;
+
+void distribution_for(
+    const std::string& app_label, std::size_t size,
+    const std::function<std::unique_ptr<rt::Workload>()>& make,
+    std::size_t reps) {
+  sim::SimCluster cluster(sim::scenario(4, /*dual_gpu_boards=*/false));
+  const std::size_t n = cluster.size();
+
+  // algorithm -> unit -> stats over repetitions
+  std::vector<std::vector<RunningStats>> shares(
+      3, std::vector<RunningStats>(n));
+  const std::vector<std::string> algos{"Acosta", "HDSS", "PLB-HeC"};
+
+  for (std::size_t rep = 0; rep < reps; ++rep) {
+    rt::EngineOptions opts;
+    opts.seed = 2000 + rep;
+    opts.record_trace = false;
+    rt::SimEngine engine(cluster, opts);
+
+    {
+      auto w = make();
+      baselines::AcostaScheduler acosta;
+      if (engine.run(*w, acosta).ok)
+        for (std::size_t u = 0; u < n; ++u)
+          shares[0][u].add(acosta.shares()[u]);
+    }
+    {
+      auto w = make();
+      baselines::HdssScheduler hdss;
+      if (engine.run(*w, hdss).ok) {
+        const auto wf = hdss.weight_fractions();
+        for (std::size_t u = 0; u < n; ++u) shares[1][u].add(wf[u]);
+      }
+    }
+    {
+      auto w = make();
+      core::PlbHecScheduler plb;
+      if (engine.run(*w, plb).ok)
+        for (std::size_t u = 0; u < n; ++u)
+          shares[2][u].add(plb.fractions()[u]);
+    }
+  }
+
+  std::printf("\n%s, input %zu — block-size shares (mean +- sd over %zu runs):\n",
+              app_label.c_str(), size, reps);
+  Table t({"Unit", "Acosta", "HDSS", "PLB-HeC"});
+  for (std::size_t u = 0; u < n; ++u) {
+    t.row().add(cluster.unit(u).name);
+    for (std::size_t a = 0; a < 3; ++a)
+      t.add(format_double(shares[a][u].mean(), 3) + " +- " +
+            format_double(shares[a][u].stddev(), 3));
+  }
+  t.print();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace plbhec;
+  const Cli cli(argc, argv);
+  const bool full = cli.full();
+  const auto reps = static_cast<std::size_t>(cli.get_int("reps", full ? 10 : 3));
+
+  bench::print_header(
+      "Fig. 6 — block size distribution among processing units",
+      sim::scenario(4, false));
+
+  for (std::size_t n : {16384u, full ? 65536u : 32768u})
+    distribution_for("MatMul", n, [n] {
+      return std::make_unique<apps::MatMulWorkload>(n);
+    }, reps);
+  for (std::size_t g : {60'000u, 140'000u})
+    distribution_for("GRN", g, [g] {
+      return std::make_unique<apps::GrnWorkload>(
+          apps::GrnWorkload::paper_instance(g));
+    }, reps);
+  for (std::size_t o : {100'000u, 500'000u})
+    distribution_for("BlackScholes", o, [o] {
+      return std::make_unique<apps::BlackScholesWorkload>(
+          apps::BlackScholesWorkload::paper_instance(o));
+    }, reps);
+
+  std::printf(
+      "\nShape check vs the paper: PLB-HeC assigns proportionally smaller\n"
+      "blocks to CPUs and larger to GPUs than Acosta/HDSS (which use\n"
+      "linear weighted means and produce similar distributions); standard\n"
+      "deviations are small (stable across runs).\n");
+  return 0;
+}

@@ -1,0 +1,79 @@
+/// \file custom_scheduler.cpp
+/// Shows the scheduler plug-in API (the StarPU-like policy surface): a
+/// user-defined work-stealing-flavored policy in ~30 lines, run head to
+/// head against PLB-HeC.
+///
+/// Usage: custom_scheduler [--n 16384]
+
+#include <algorithm>
+#include <cstdio>
+
+#include "plbhec/apps/matmul.hpp"
+#include "plbhec/common/cli.hpp"
+#include "plbhec/core/plb_hec.hpp"
+#include "plbhec/rt/engine.hpp"
+#include "plbhec/sim/machine.hpp"
+
+namespace {
+
+using namespace plbhec;
+
+/// Guided self-scheduling: every request receives remaining/(2n) grains,
+/// so blocks decay geometrically and the tail self-balances. A classic
+/// policy in a dozen lines against the rt::Scheduler interface.
+class GuidedScheduler final : public rt::Scheduler {
+ public:
+  std::string name() const override { return "Guided"; }
+
+  void start(const std::vector<rt::UnitInfo>& units,
+             const rt::WorkInfo& work) override {
+    units_ = units.size();
+    total_ = work.total_grains;
+    issued_ = 0;
+  }
+
+  std::size_t next_block(rt::UnitId, double) override {
+    const std::size_t remaining = total_ > issued_ ? total_ - issued_ : 0;
+    const std::size_t block =
+        std::max<std::size_t>(1, remaining / (2 * units_));
+    issued_ += block;
+    return block;
+  }
+
+  void on_complete(const rt::TaskObservation&) override {}
+
+ private:
+  std::size_t units_ = 1;
+  std::size_t total_ = 0;
+  std::size_t issued_ = 0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace plbhec;
+  const Cli cli(argc, argv);
+  const auto n = static_cast<std::size_t>(cli.get_int("n", 16'384));
+
+  apps::MatMulWorkload w(n);
+  sim::SimCluster cluster(sim::scenario(4, true));
+  rt::SimEngine engine(cluster, {});
+
+  GuidedScheduler guided;
+  core::PlbHecScheduler plb;
+  const rt::RunResult rg = engine.run(w, guided);
+  const rt::RunResult rp = engine.run(w, plb);
+  if (!rg.ok || !rp.ok) {
+    std::printf("run failed: %s%s\n", rg.error.c_str(), rp.error.c_str());
+    return 1;
+  }
+  std::printf("MatMul %zu on 4 machines:\n", n);
+  std::printf("  custom Guided scheduler : %.3f s\n", rg.makespan);
+  std::printf("  PLB-HeC                 : %.3f s\n", rp.makespan);
+  std::printf(
+      "\nThe policy interface is rt::Scheduler (start / next_block /\n"
+      "on_complete / on_barrier / on_unit_failed); both engines — the\n"
+      "discrete-event simulator and the real-threaded executor — drive any\n"
+      "policy unmodified.\n");
+  return 0;
+}

@@ -1,0 +1,113 @@
+#include "plbhec/apps/blackscholes.hpp"
+
+#include <cmath>
+
+#include "plbhec/common/contracts.hpp"
+#include "plbhec/common/rng.hpp"
+
+namespace plbhec::apps {
+
+double normal_cdf(double x) {
+  return 0.5 * std::erfc(-x / std::sqrt(2.0));
+}
+
+OptionPrice black_scholes(const OptionQuote& q) {
+  PLBHEC_EXPECTS(q.spot > 0.0 && q.strike > 0.0);
+  PLBHEC_EXPECTS(q.volatility > 0.0 && q.expiry_years > 0.0);
+  const double sqrt_t = std::sqrt(q.expiry_years);
+  const double d1 =
+      (std::log(q.spot / q.strike) +
+       (q.rate + 0.5 * q.volatility * q.volatility) * q.expiry_years) /
+      (q.volatility * sqrt_t);
+  const double d2 = d1 - q.volatility * sqrt_t;
+  const double discount = std::exp(-q.rate * q.expiry_years);
+
+  OptionPrice p;
+  p.call = q.spot * normal_cdf(d1) - q.strike * discount * normal_cdf(d2);
+  p.put = q.strike * discount * normal_cdf(-d2) - q.spot * normal_cdf(-d1);
+  return p;
+}
+
+BlackScholesWorkload::BlackScholesWorkload(Config config) : config_(config) {
+  PLBHEC_EXPECTS(config_.options > 0);
+  quotes_.resize(config_.options);
+  prices_.assign(config_.options, {});
+  Rng rng(config_.seed);
+  for (auto& q : quotes_) {
+    q.spot = rng.uniform(5.0, 250.0);
+    q.strike = rng.uniform(5.0, 250.0);
+    q.rate = rng.uniform(0.005, 0.08);
+    q.volatility = rng.uniform(0.05, 0.9);
+    q.expiry_years = rng.uniform(0.1, 5.0);
+  }
+}
+
+sim::WorkloadProfile BlackScholesWorkload::profile() const {
+  sim::WorkloadProfile p;
+  p.name = "blackscholes";
+  if (config_.mc_paths == 0) {
+    // log, exp, sqrt, two erfc and arithmetic: ~200 flop-equivalents.
+    p.flops_per_grain = 200.0;
+  } else {
+    // Each path-step: one Gaussian draw plus the GBM update (~10 flops).
+    p.flops_per_grain = 10.0 * static_cast<double>(config_.mc_paths) *
+                        static_cast<double>(config_.mc_steps);
+  }
+  p.bytes_per_grain = bytes_per_grain();
+  p.device_bytes_per_grain = 7 * sizeof(double);  // 5 in + 2 out
+  p.gpu_threads_per_grain =
+      config_.mc_paths == 0 ? 1.0 : static_cast<double>(config_.mc_paths);
+  p.cpu_parallel_fraction = 0.995;
+  p.gpu_efficiency = 0.35;  // transcendental-heavy kernel
+  p.cpu_efficiency = 0.40;
+  // Streaming/batched kernels saturate the pipeline only with very many
+  // in-flight options.
+  p.gpu_saturation_grains = config_.mc_paths == 0 ? 16384.0 : 2048.0;
+  return p;
+}
+
+OptionPrice BlackScholesWorkload::monte_carlo_price(
+    const OptionQuote& q, std::uint64_t seed) const {
+  PLBHEC_EXPECTS(config_.mc_paths > 0);
+  Rng rng(seed);
+  const double dt =
+      q.expiry_years / static_cast<double>(config_.mc_steps);
+  const double drift = (q.rate - 0.5 * q.volatility * q.volatility) * dt;
+  const double diffusion = q.volatility * std::sqrt(dt);
+  const double discount = std::exp(-q.rate * q.expiry_years);
+
+  double call_sum = 0.0;
+  double put_sum = 0.0;
+  // Antithetic variates: each draw drives a +z and a -z path.
+  for (std::size_t path = 0; path < config_.mc_paths; path += 2) {
+    double log_s_pos = std::log(q.spot);
+    double log_s_neg = log_s_pos;
+    for (std::size_t step = 0; step < config_.mc_steps; ++step) {
+      const double z = rng.normal();
+      log_s_pos += drift + diffusion * z;
+      log_s_neg += drift - diffusion * z;
+    }
+    for (double log_s : {log_s_pos, log_s_neg}) {
+      const double terminal = std::exp(log_s);
+      call_sum += std::max(terminal - q.strike, 0.0);
+      put_sum += std::max(q.strike - terminal, 0.0);
+    }
+  }
+  const double paths = static_cast<double>((config_.mc_paths + 1) / 2 * 2);
+  OptionPrice p;
+  p.call = discount * call_sum / paths;
+  p.put = discount * put_sum / paths;
+  return p;
+}
+
+void BlackScholesWorkload::execute_cpu(std::size_t begin, std::size_t end) {
+  PLBHEC_EXPECTS(begin <= end && end <= quotes_.size());
+  for (std::size_t i = begin; i < end; ++i) {
+    if (config_.mc_paths == 0)
+      prices_[i] = black_scholes(quotes_[i]);
+    else
+      prices_[i] = monte_carlo_price(quotes_[i], config_.seed ^ (i * 0x9e37u));
+  }
+}
+
+}  // namespace plbhec::apps

@@ -1,0 +1,91 @@
+#pragma once
+/// \file blackscholes.hpp
+/// Black-Scholes option pricing workload (§IV-A): a grain is one European
+/// option priced with the closed-form solution. Complexity O(n). The real
+/// kernel computes genuine call/put prices (validated against put-call
+/// parity and reference values in the tests).
+
+#include <cstddef>
+#include <vector>
+
+#include "plbhec/rt/workload.hpp"
+
+namespace plbhec::apps {
+
+/// Closed-form Black-Scholes prices for a European option.
+struct OptionQuote {
+  double spot = 100.0;
+  double strike = 100.0;
+  double rate = 0.05;
+  double volatility = 0.2;
+  double expiry_years = 1.0;
+};
+
+struct OptionPrice {
+  double call = 0.0;
+  double put = 0.0;
+};
+
+/// Prices one option with the closed-form Black-Scholes formula.
+[[nodiscard]] OptionPrice black_scholes(const OptionQuote& quote);
+
+/// Standard normal CDF via erfc (double precision).
+[[nodiscard]] double normal_cdf(double x);
+
+class BlackScholesWorkload final : public rt::Workload {
+ public:
+  struct Config {
+    std::size_t options = 100'000;  ///< portfolio size (grains)
+    /// Monte Carlo paths per option. 0 = closed-form pricing only. The
+    /// paper's kernel "includes a random walk term, which models random
+    /// fluctuations of prices over time" — i.e. Monte Carlo simulation;
+    /// the closed form serves as the correctness oracle for the MC path.
+    std::size_t mc_paths = 0;
+    std::size_t mc_steps = 32;  ///< time steps per simulated path
+    std::uint64_t seed = 0x5eed;
+  };
+
+  explicit BlackScholesWorkload(Config config);
+  /// Convenience: closed-form portfolio of `options` quotes.
+  explicit BlackScholesWorkload(std::size_t options,
+                                std::uint64_t seed = 0x5eed)
+      : BlackScholesWorkload(Config{options, 0, 32, seed}) {}
+
+  /// The configuration the paper's evaluation corresponds to (Monte Carlo
+  /// pricing — compute-heavy enough that a GPU cluster is warranted).
+  [[nodiscard]] static Config paper_instance(std::size_t options) {
+    return Config{options, 512, 32, 0x5eed};
+  }
+
+  [[nodiscard]] std::string name() const override { return "BlackScholes"; }
+  [[nodiscard]] std::size_t total_grains() const override {
+    return quotes_.size();
+  }
+  [[nodiscard]] double bytes_per_grain() const override {
+    return 5 * sizeof(double);
+  }
+  [[nodiscard]] sim::WorkloadProfile profile() const override;
+
+  void execute_cpu(std::size_t begin, std::size_t end) override;
+  [[nodiscard]] bool supports_real_execution() const override { return true; }
+
+  [[nodiscard]] const std::vector<OptionQuote>& quotes() const {
+    return quotes_;
+  }
+  [[nodiscard]] const std::vector<OptionPrice>& prices() const {
+    return prices_;
+  }
+  [[nodiscard]] const Config& config() const { return config_; }
+
+  /// Monte Carlo price of one option under geometric Brownian motion
+  /// (antithetic variates). Exposed for the accuracy tests.
+  [[nodiscard]] OptionPrice monte_carlo_price(const OptionQuote& quote,
+                                              std::uint64_t seed) const;
+
+ private:
+  Config config_;
+  std::vector<OptionQuote> quotes_;
+  std::vector<OptionPrice> prices_;
+};
+
+}  // namespace plbhec::apps

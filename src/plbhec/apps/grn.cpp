@@ -1,0 +1,108 @@
+#include "plbhec/apps/grn.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "plbhec/common/contracts.hpp"
+#include "plbhec/common/rng.hpp"
+
+namespace plbhec::apps {
+
+GrnWorkload::GrnWorkload(Config config) : config_(config) {
+  PLBHEC_EXPECTS(config_.genes > 0);
+  PLBHEC_EXPECTS(config_.samples > 0);
+  PLBHEC_EXPECTS(config_.pair_window > 0);
+  if (config_.materialize) {
+    PLBHEC_EXPECTS(config_.genes <= 200'000);
+    expression_.resize(config_.genes * config_.samples);
+    target_.resize(config_.samples);
+    Rng rng(config_.seed);
+    for (auto& v : expression_)
+      v = static_cast<std::uint8_t>(rng.uniform() < 0.5 ? 0 : 1);
+    // Make the target partially predictable from gene 0 XOR gene 1 so the
+    // search has real structure to find.
+    for (std::size_t s = 0; s < config_.samples; ++s) {
+      const std::uint8_t g0 = expression_[0 * config_.samples + s];
+      const std::uint8_t g1 = expression_[1 * config_.samples + s];
+      const bool noisy = rng.uniform() < 0.1;
+      target_[s] = noisy ? static_cast<std::uint8_t>(rng.uniform() < 0.5)
+                         : static_cast<std::uint8_t>(g0 ^ g1);
+    }
+    scores_.assign(config_.genes, std::numeric_limits<float>::infinity());
+    best_partner_.assign(config_.genes, 0);
+  }
+}
+
+sim::WorkloadProfile GrnWorkload::profile() const {
+  sim::WorkloadProfile p;
+  p.name = "grn";
+  const double m = static_cast<double>(config_.samples);
+  const double w = static_cast<double>(config_.pair_window);
+  // Per gene: `w` pair evaluations, each counting over `m` samples plus an
+  // 8-cell entropy reduction (~4 flops per sample per pair).
+  p.flops_per_grain = w * (4.0 * m + 64.0);
+  p.bytes_per_grain = bytes_per_grain();
+  p.device_bytes_per_grain = (w + 1.0) * m;  // partner rows re-read
+  p.gpu_threads_per_grain = w;               // one thread per pair
+  p.cpu_parallel_fraction = 0.99;
+  p.gpu_efficiency = 0.30;  // integer counting, divergent accesses
+  p.cpu_efficiency = 0.35;
+  // Divergent pair-counting kernels need many resident gene sets to hide
+  // memory latency.
+  p.gpu_saturation_grains = 512.0;
+  return p;
+}
+
+double GrnWorkload::conditional_entropy(std::size_t gene_a,
+                                        std::size_t gene_b) const {
+  PLBHEC_EXPECTS(config_.materialize);
+  PLBHEC_EXPECTS(gene_a < config_.genes && gene_b < config_.genes);
+  const std::uint8_t* a = &expression_[gene_a * config_.samples];
+  const std::uint8_t* b = &expression_[gene_b * config_.samples];
+
+  // Joint counts over (a, b, target): 8 cells.
+  std::size_t counts[8] = {};
+  for (std::size_t s = 0; s < config_.samples; ++s) {
+    const unsigned idx = static_cast<unsigned>(a[s] << 2) |
+                         static_cast<unsigned>(b[s] << 1) |
+                         static_cast<unsigned>(target_[s]);
+    ++counts[idx];
+  }
+
+  // H(target | a, b) = sum_{ab} p(ab) H(target | ab).
+  const double total = static_cast<double>(config_.samples);
+  double h = 0.0;
+  for (unsigned ab = 0; ab < 4; ++ab) {
+    const double n0 = static_cast<double>(counts[ab << 1]);
+    const double n1 = static_cast<double>(counts[(ab << 1) | 1]);
+    const double nab = n0 + n1;
+    if (nab == 0.0) continue;
+    double h_cond = 0.0;
+    if (n0 > 0.0) h_cond -= (n0 / nab) * std::log2(n0 / nab);
+    if (n1 > 0.0) h_cond -= (n1 / nab) * std::log2(n1 / nab);
+    h += (nab / total) * h_cond;
+  }
+  return h;
+}
+
+void GrnWorkload::execute_cpu(std::size_t begin, std::size_t end) {
+  PLBHEC_EXPECTS(config_.materialize);
+  PLBHEC_EXPECTS(begin <= end && end <= config_.genes);
+  for (std::size_t g = begin; g < end; ++g) {
+    float best = std::numeric_limits<float>::infinity();
+    std::uint32_t best_partner = 0;
+    for (std::size_t k = 1; k <= config_.pair_window; ++k) {
+      const std::size_t partner = (g + k) % config_.genes;
+      if (partner == g) continue;
+      const auto h = static_cast<float>(conditional_entropy(g, partner));
+      if (h < best) {
+        best = h;
+        best_partner = static_cast<std::uint32_t>(partner);
+      }
+    }
+    scores_[g] = best;
+    best_partner_[g] = best_partner;
+  }
+}
+
+}  // namespace plbhec::apps

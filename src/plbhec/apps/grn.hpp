@@ -1,0 +1,76 @@
+#pragma once
+/// \file grn.hpp
+/// Gene Regulatory Network inference workload (§IV-A; Borelli et al., BMC
+/// Bioinformatics 2013): exhaustive feature selection — for a target gene,
+/// search the predictor gene subsets that minimize the conditional entropy
+/// of the target given the subset, over discretized expression data.
+///
+/// A grain is one candidate gene: evaluating it means scoring the pairs it
+/// forms with the next `pair_window` genes against the target. In real
+/// mode the kernel performs genuine contingency counting and entropy
+/// computation over a synthetic (deterministically generated) binary
+/// expression matrix; in simulated mode only the O(n * window * samples)
+/// cost profile matters (the paper runs 60,000-140,000 genes).
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "plbhec/rt/workload.hpp"
+
+namespace plbhec::apps {
+
+class GrnWorkload final : public rt::Workload {
+ public:
+  struct Config {
+    std::size_t genes = 1000;        ///< number of candidate genes (grains)
+    std::size_t samples = 64;        ///< expression samples per gene
+    std::size_t pair_window = 32;    ///< partners evaluated per gene
+    bool materialize = false;        ///< allocate real expression data
+    std::uint64_t seed = 0x9e11e5;
+  };
+
+  explicit GrnWorkload(Config config);
+
+  /// The paper-scale instance: exhaustive pair search, so each gene is
+  /// scored against half of the others (simulation-only; real execution
+  /// at this scale would take the actual cluster the paper used).
+  [[nodiscard]] static Config paper_instance(std::size_t genes) {
+    return Config{genes, 64, genes / 2, false, 0x9e11e5};
+  }
+
+  [[nodiscard]] std::string name() const override { return "GRN"; }
+  [[nodiscard]] std::size_t total_grains() const override {
+    return config_.genes;
+  }
+  [[nodiscard]] double bytes_per_grain() const override {
+    return static_cast<double>(config_.samples);  // one expression row
+  }
+  [[nodiscard]] sim::WorkloadProfile profile() const override;
+
+  void execute_cpu(std::size_t begin, std::size_t end) override;
+  [[nodiscard]] bool supports_real_execution() const override {
+    return config_.materialize;
+  }
+
+  /// Best (lowest conditional entropy) score found per gene; real mode.
+  [[nodiscard]] const std::vector<float>& scores() const { return scores_; }
+  /// Best partner index per gene; real mode.
+  [[nodiscard]] const std::vector<std::uint32_t>& best_partner() const {
+    return best_partner_;
+  }
+
+  /// Conditional entropy H(target | a, b) over the binary expression data
+  /// (exposed so tests can cross-check the kernel).
+  [[nodiscard]] double conditional_entropy(std::size_t gene_a,
+                                           std::size_t gene_b) const;
+
+ private:
+  Config config_;
+  std::vector<std::uint8_t> expression_;  ///< genes x samples, binarized
+  std::vector<std::uint8_t> target_;      ///< samples
+  std::vector<float> scores_;
+  std::vector<std::uint32_t> best_partner_;
+};
+
+}  // namespace plbhec::apps

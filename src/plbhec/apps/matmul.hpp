@@ -1,0 +1,45 @@
+#pragma once
+/// \file matmul.hpp
+/// Matrix multiplication workload (§IV-A). The paper distributes a copy of
+/// one matrix to every processing unit and splits the other by lines; a
+/// grain here is one output row: C[i,:] = A[i,:] * B. Complexity O(n^3).
+///
+/// In simulated runs only the cost profile matters (any n up to the
+/// paper's 65536 is cheap). In real-threaded runs the blocked GEMM kernel
+/// actually computes C for a small n, validated against a reference.
+
+#include <cstddef>
+#include <vector>
+
+#include "plbhec/rt/workload.hpp"
+
+namespace plbhec::apps {
+
+class MatMulWorkload final : public rt::Workload {
+ public:
+  /// `n` = matrix order. `materialize` allocates real matrices and enables
+  /// real execution (keep n <= ~1024 in that mode).
+  explicit MatMulWorkload(std::size_t n, bool materialize = false);
+
+  [[nodiscard]] std::string name() const override { return "MatMul"; }
+  [[nodiscard]] std::size_t total_grains() const override { return n_; }
+  [[nodiscard]] double bytes_per_grain() const override;
+  [[nodiscard]] sim::WorkloadProfile profile() const override;
+
+  void execute_cpu(std::size_t begin, std::size_t end) override;
+  [[nodiscard]] bool supports_real_execution() const override {
+    return materialized_;
+  }
+
+  /// Result access for validation (real mode only).
+  [[nodiscard]] const std::vector<double>& result() const { return c_; }
+  [[nodiscard]] const std::vector<double>& a() const { return a_; }
+  [[nodiscard]] const std::vector<double>& b() const { return b_; }
+
+ private:
+  std::size_t n_;
+  bool materialized_;
+  std::vector<double> a_, b_, c_;
+};
+
+}  // namespace plbhec::apps

@@ -1,0 +1,39 @@
+#include "plbhec/apps/synthetic.hpp"
+
+#include <cmath>
+
+#include "plbhec/common/contracts.hpp"
+
+namespace plbhec::apps {
+
+sim::WorkloadProfile SyntheticWorkload::profile() const {
+  sim::WorkloadProfile p;
+  p.name = "synthetic";
+  p.flops_per_grain = config_.flops_per_grain;
+  p.bytes_per_grain = config_.bytes_per_grain;
+  p.device_bytes_per_grain = config_.device_bytes_per_grain;
+  p.gpu_threads_per_grain = config_.gpu_threads_per_grain;
+  p.cpu_parallel_fraction = config_.cpu_parallel_fraction;
+  p.gpu_efficiency = config_.gpu_efficiency;
+  p.cpu_efficiency = config_.cpu_efficiency;
+  return p;
+}
+
+void SyntheticWorkload::execute_cpu(std::size_t begin, std::size_t end) {
+  PLBHEC_EXPECTS(begin <= end && end <= config_.grains);
+  double local = 0.0;
+  for (std::size_t g = begin; g < end; ++g) {
+    // Deterministic per-grain value independent of execution order.
+    double acc = static_cast<double>(g % 97) + 1.0;
+    for (std::size_t i = 0; i < config_.spin_iters_per_grain; ++i)
+      acc = acc * 1.0000001 + 1e-9;
+    local += std::fmod(acc, 1000.0);
+  }
+  // Atomic accumulate (relaxed FP reorder tolerated by the tests' epsilon).
+  double expected = checksum_.load();
+  while (!checksum_.compare_exchange_weak(expected, expected + local)) {
+  }
+  executed_.fetch_add(end - begin);
+}
+
+}  // namespace plbhec::apps

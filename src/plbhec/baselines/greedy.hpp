@@ -1,0 +1,37 @@
+#pragma once
+/// \file greedy.hpp
+/// The StarPU-style greedy (eager) dispatcher used as the paper's
+/// reference baseline: the input is cut into fixed-size pieces and any
+/// idle processing unit takes the next piece, with no priorities and no
+/// performance modeling.
+
+#include "plbhec/rt/scheduler.hpp"
+
+namespace plbhec::baselines {
+
+class GreedyScheduler final : public rt::Scheduler {
+ public:
+  /// `block` = piece size in grains; 0 = use the engine hint.
+  explicit GreedyScheduler(std::size_t block = 0) : block_(block) {}
+
+  [[nodiscard]] std::string name() const override { return "Greedy"; }
+
+  void start(const std::vector<rt::UnitInfo>& units,
+             const rt::WorkInfo& work) override {
+    (void)units;
+    effective_block_ =
+        block_ ? block_ : std::max<std::size_t>(1, work.initial_block);
+  }
+
+  [[nodiscard]] std::size_t next_block(rt::UnitId, double) override {
+    return effective_block_;
+  }
+
+  void on_complete(const rt::TaskObservation&) override {}
+
+ private:
+  std::size_t block_ = 0;
+  std::size_t effective_block_ = 1;
+};
+
+}  // namespace plbhec::baselines

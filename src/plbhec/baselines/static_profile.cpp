@@ -1,0 +1,103 @@
+#include "plbhec/baselines/static_profile.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "plbhec/common/contracts.hpp"
+
+namespace plbhec::baselines {
+
+StaticProfileScheduler::StaticProfileScheduler(std::vector<double> weights,
+                                               double step_fraction)
+    : weights_(std::move(weights)), step_fraction_(step_fraction) {
+  PLBHEC_EXPECTS(!weights_.empty());
+  double sum = 0.0;
+  for (double w : weights_) {
+    PLBHEC_EXPECTS(w >= 0.0);
+    sum += w;
+  }
+  PLBHEC_EXPECTS(sum > 0.0);
+  for (double& w : weights_) w /= sum;
+}
+
+void StaticProfileScheduler::start(const std::vector<rt::UnitInfo>& units,
+                                   const rt::WorkInfo& work) {
+  PLBHEC_EXPECTS(units.size() == weights_.size());
+  failed_.assign(units.size(), false);
+  work_ = work;
+}
+
+std::size_t StaticProfileScheduler::next_block(rt::UnitId unit,
+                                               double /*now*/) {
+  PLBHEC_EXPECTS(unit < weights_.size());
+  if (failed_[unit]) return 0;
+  const double window =
+      step_fraction_ * static_cast<double>(work_.total_grains);
+  const double size = weights_[unit] * window;
+  if (size <= 0.0) return 0;
+  return std::max<std::size_t>(
+      1, static_cast<std::size_t>(std::llround(size)));
+}
+
+void StaticProfileScheduler::on_unit_failed(rt::UnitId unit, std::size_t,
+                                            double /*now*/) {
+  // Static algorithm: no redistribution. The unit's share is simply lost
+  // to the pool and picked up grain-by-grain by whoever asks last.
+  PLBHEC_EXPECTS(unit < weights_.size());
+  failed_[unit] = true;
+}
+
+std::vector<double> oracle_static_weights(const sim::SimCluster& cluster,
+                                          const sim::WorkloadProfile& profile,
+                                          std::size_t total_grains,
+                                          double bytes_per_grain) {
+  PLBHEC_EXPECTS(total_grains > 0);
+  const std::size_t n = cluster.size();
+  std::vector<double> weights(n, 0.0);
+
+  // Equal-time split via bisection on the common finish time T using the
+  // *true* device models (the oracle): unit g takes x_g(T) grains where
+  // x_g is the inverse of its modeled time curve.
+  auto unit_time = [&](std::size_t u, double grains) {
+    const auto& su = cluster.unit(u);
+    const double bytes = grains * bytes_per_grain;
+    return su.path.transfer_seconds(bytes) +
+           su.device->execution_seconds(profile, grains);
+  };
+  auto grains_at = [&](std::size_t u, double t) {
+    double lo = 0.0;
+    double hi = static_cast<double>(total_grains);
+    for (int i = 0; i < 60; ++i) {
+      const double mid = 0.5 * (lo + hi);
+      if (unit_time(u, mid) <= t)
+        lo = mid;
+      else
+        hi = mid;
+    }
+    return lo;
+  };
+
+  double t_lo = 0.0;
+  double t_hi = 0.0;
+  for (std::size_t u = 0; u < n; ++u)
+    t_hi = std::max(t_hi, unit_time(u, static_cast<double>(total_grains)));
+  for (int i = 0; i < 80; ++i) {
+    const double mid = 0.5 * (t_lo + t_hi);
+    double sum = 0.0;
+    for (std::size_t u = 0; u < n; ++u) sum += grains_at(u, mid);
+    if (sum >= static_cast<double>(total_grains))
+      t_hi = mid;
+    else
+      t_lo = mid;
+  }
+  double sum = 0.0;
+  for (std::size_t u = 0; u < n; ++u) {
+    weights[u] = grains_at(u, t_hi);
+    sum += weights[u];
+  }
+  PLBHEC_ENSURES(sum > 0.0);
+  for (double& w : weights) w /= sum;
+  return weights;
+}
+
+}  // namespace plbhec::baselines

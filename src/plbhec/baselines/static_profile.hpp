@@ -1,0 +1,49 @@
+#pragma once
+/// \file static_profile.hpp
+/// Static profile-based distribution (de Camargo, WAMCA 2012 — the paper's
+/// reference [17]): block shares are fixed *before* execution from
+/// previously known performance profiles and never revised. Used as an
+/// ablation baseline (it is optimal when profiles are exact and conditions
+/// stable, and degrades under noise, QoS changes or failures).
+
+#include <vector>
+
+#include "plbhec/rt/scheduler.hpp"
+#include "plbhec/sim/cluster.hpp"
+#include "plbhec/sim/workload_profile.hpp"
+
+namespace plbhec::baselines {
+
+class StaticProfileScheduler final : public rt::Scheduler {
+ public:
+  /// `weights` must have one non-negative entry per processing unit and a
+  /// positive sum; they are normalized internally.
+  explicit StaticProfileScheduler(std::vector<double> weights,
+                                  double step_fraction = 0.25);
+
+  [[nodiscard]] std::string name() const override { return "StaticProfile"; }
+
+  void start(const std::vector<rt::UnitInfo>& units,
+             const rt::WorkInfo& work) override;
+  [[nodiscard]] std::size_t next_block(rt::UnitId unit, double now) override;
+  void on_complete(const rt::TaskObservation&) override {}
+  void on_unit_failed(rt::UnitId unit, std::size_t lost_grains,
+                      double now) override;
+
+  [[nodiscard]] const std::vector<double>& shares() const { return weights_; }
+
+ private:
+  std::vector<double> weights_;
+  std::vector<bool> failed_;
+  double step_fraction_;
+  rt::WorkInfo work_;
+};
+
+/// Oracle static weights for a simulated cluster: equalizes the *modeled*
+/// per-unit time of processing its share in one shot (no profiling error).
+/// This is the best case for the static algorithm.
+[[nodiscard]] std::vector<double> oracle_static_weights(
+    const sim::SimCluster& cluster, const sim::WorkloadProfile& profile,
+    std::size_t total_grains, double bytes_per_grain);
+
+}  // namespace plbhec::baselines

@@ -1,0 +1,45 @@
+#include "plbhec/common/cli.hpp"
+
+#include <cstdlib>
+
+namespace plbhec {
+
+Cli::Cli(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    arg = arg.substr(2);
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      kv_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      kv_[arg] = argv[++i];
+    } else {
+      kv_[arg] = "";
+    }
+  }
+}
+
+bool Cli::has(const std::string& flag) const { return kv_.count(flag) > 0; }
+
+std::string Cli::get(const std::string& key, const std::string& fallback) const {
+  auto it = kv_.find(key);
+  return it == kv_.end() || it->second.empty() ? fallback : it->second;
+}
+
+std::int64_t Cli::get_int(const std::string& key, std::int64_t fallback) const {
+  auto it = kv_.find(key);
+  if (it == kv_.end() || it->second.empty()) return fallback;
+  return std::strtoll(it->second.c_str(), nullptr, 10);
+}
+
+double Cli::get_double(const std::string& key, double fallback) const {
+  auto it = kv_.find(key);
+  if (it == kv_.end() || it->second.empty()) return fallback;
+  return std::strtod(it->second.c_str(), nullptr);
+}
+
+}  // namespace plbhec

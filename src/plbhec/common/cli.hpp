@@ -1,0 +1,39 @@
+#pragma once
+/// \file cli.hpp
+/// Tiny command-line flag parser shared by the bench binaries and examples.
+/// Supports `--flag`, `--key=value` and `--key value` forms.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace plbhec {
+
+class Cli {
+ public:
+  Cli(int argc, char** argv);
+
+  [[nodiscard]] bool has(const std::string& flag) const;
+  [[nodiscard]] std::string get(const std::string& key,
+                                const std::string& fallback) const;
+  [[nodiscard]] std::int64_t get_int(const std::string& key,
+                                     std::int64_t fallback) const;
+  [[nodiscard]] double get_double(const std::string& key,
+                                  double fallback) const;
+
+  /// Positional (non-flag) arguments in order.
+  [[nodiscard]] const std::vector<std::string>& positional() const {
+    return positional_;
+  }
+
+  /// Benchmarks run a reduced sweep unless `--full` is given. `--quick` is
+  /// accepted as an explicit alias of the default.
+  [[nodiscard]] bool full() const { return has("full"); }
+
+ private:
+  std::map<std::string, std::string> kv_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace plbhec

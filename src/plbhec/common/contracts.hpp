@@ -1,0 +1,35 @@
+#pragma once
+/// \file contracts.hpp
+/// Lightweight precondition / postcondition / invariant checks in the spirit
+/// of the C++ Core Guidelines' `Expects` / `Ensures`. Violations abort with a
+/// message; they are kept on in all build types because this library backs a
+/// research artifact where silent numeric corruption is worse than a crash.
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace plbhec::detail {
+
+[[noreturn]] inline void contract_failure(const char* kind, const char* expr,
+                                          const char* file, int line) {
+  std::fprintf(stderr, "plbhec: %s violated: (%s) at %s:%d\n", kind, expr,
+               file, line);
+  std::abort();
+}
+
+}  // namespace plbhec::detail
+
+#define PLBHEC_EXPECTS(cond)                                              \
+  ((cond) ? static_cast<void>(0)                                          \
+          : ::plbhec::detail::contract_failure("precondition", #cond,     \
+                                               __FILE__, __LINE__))
+
+#define PLBHEC_ENSURES(cond)                                              \
+  ((cond) ? static_cast<void>(0)                                          \
+          : ::plbhec::detail::contract_failure("postcondition", #cond,    \
+                                               __FILE__, __LINE__))
+
+#define PLBHEC_ASSERT(cond)                                               \
+  ((cond) ? static_cast<void>(0)                                          \
+          : ::plbhec::detail::contract_failure("invariant", #cond,        \
+                                               __FILE__, __LINE__))

@@ -1,0 +1,29 @@
+#pragma once
+/// \file csv.hpp
+/// Minimal CSV writer used to dump experiment series (so that figures can be
+/// re-plotted outside the harness).
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace plbhec {
+
+/// Streams rows to a CSV file. Cells containing commas/quotes are quoted.
+class CsvWriter {
+ public:
+  /// Opens (truncates) `path`. Throws std::runtime_error on failure.
+  explicit CsvWriter(const std::string& path);
+
+  void header(const std::vector<std::string>& columns);
+  void row(const std::vector<std::string>& cells);
+
+  /// Convenience: formats doubles with 6 significant digits.
+  void row_values(const std::vector<double>& values);
+
+ private:
+  void write_cells(const std::vector<std::string>& cells);
+  std::ofstream out_;
+};
+
+}  // namespace plbhec

@@ -1,0 +1,54 @@
+#pragma once
+/// \file rng.hpp
+/// Deterministic, fast pseudo-random number generation (xoshiro256++) with
+/// the handful of distributions the simulator needs. Every stochastic
+/// component of the library takes an explicit seed so that experiments are
+/// exactly reproducible.
+
+#include <cstdint>
+
+namespace plbhec {
+
+/// xoshiro256++ generator (Blackman & Vigna). Seeded through splitmix64 so
+/// that low-entropy seeds (0, 1, 2, ...) still produce well-mixed streams.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) { reseed(seed); }
+
+  /// Re-initializes the state from a single 64-bit seed.
+  void reseed(std::uint64_t seed);
+
+  /// Derives an independent child stream; `stream_id` selects the child.
+  /// Used to give every (device, repetition) pair its own noise stream.
+  [[nodiscard]] Rng fork(std::uint64_t stream_id) const;
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+
+  result_type operator()() { return next(); }
+
+  std::uint64_t next();
+
+  /// Uniform double in [0, 1).
+  double uniform();
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+  /// Uniform integer in [lo, hi] (inclusive).
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+  /// Standard normal via Box-Muller (cached second value).
+  double normal();
+  /// Normal with given mean and standard deviation.
+  double normal(double mean, double stddev);
+  /// Log-normal such that the *multiplicative* factor has median 1 and the
+  /// underlying normal has standard deviation `sigma`. sigma = 0 returns 1.
+  double lognormal_factor(double sigma);
+
+ private:
+  std::uint64_t s_[4]{};
+  double cached_normal_ = 0.0;
+  bool has_cached_normal_ = false;
+};
+
+}  // namespace plbhec

@@ -1,0 +1,61 @@
+#pragma once
+/// \file stats.hpp
+/// Small statistics toolkit used by the profiling database, the metrics
+/// collectors and the benchmark harness: numerically stable online moments
+/// (Welford), percentiles and simple summaries.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace plbhec {
+
+/// Online mean/variance accumulator (Welford). Numerically stable; O(1) per
+/// observation, no sample storage.
+class RunningStats {
+ public:
+  void add(double x);
+  void merge(const RunningStats& other);
+  void reset();
+
+  [[nodiscard]] std::size_t count() const { return n_; }
+  [[nodiscard]] double mean() const { return n_ > 0 ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const { return n_ > 0 ? min_ : 0.0; }
+  [[nodiscard]] double max() const { return n_ > 0 ? max_ : 0.0; }
+  [[nodiscard]] double sum() const { return mean_ * static_cast<double>(n_); }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Summary of a sample vector.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double max = 0.0;
+};
+
+[[nodiscard]] double mean(std::span<const double> xs);
+[[nodiscard]] double stddev(std::span<const double> xs);
+/// Linear-interpolated percentile, q in [0, 1]. Empty input yields 0.
+[[nodiscard]] double percentile(std::vector<double> xs, double q);
+[[nodiscard]] Summary summarize(std::span<const double> xs);
+
+/// Coefficient of determination R^2 of predictions vs observations.
+/// Returns -inf-free value clamped so a constant-observation edge case is
+/// handled (R^2 = 1 if predictions match exactly, else 0).
+[[nodiscard]] double r_squared(std::span<const double> observed,
+                               std::span<const double> predicted);
+
+}  // namespace plbhec

@@ -1,0 +1,41 @@
+#pragma once
+/// \file table.hpp
+/// ASCII table renderer used by the benchmark harness to print paper-style
+/// rows (execution times, speedups, block distributions, idleness).
+
+#include <string>
+#include <vector>
+
+namespace plbhec {
+
+/// Column-aligned ASCII table. Cells are strings; numeric helpers format
+/// with a fixed precision. Rendering right-aligns numeric-looking cells.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Starts a new row; subsequent add() calls fill it left to right.
+  Table& row();
+  Table& add(std::string cell);
+  Table& add(double value, int precision = 3);
+  Table& add(std::size_t value);
+  Table& add(int value);
+
+  /// Inserts a horizontal separator after the current row.
+  Table& separator();
+
+  [[nodiscard]] std::string render() const;
+  void print() const;
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+  std::vector<std::size_t> separators_;  // row indices followed by a rule
+};
+
+/// Formats a double with fixed precision (helper shared with CSV output).
+[[nodiscard]] std::string format_double(double value, int precision);
+
+}  // namespace plbhec

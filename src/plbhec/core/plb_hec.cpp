@@ -1,0 +1,369 @@
+#include "plbhec/core/plb_hec.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "plbhec/common/contracts.hpp"
+
+namespace plbhec::core {
+
+PlbHecScheduler::PlbHecScheduler(PlbHecOptions options)
+    : options_(std::move(options)) {
+  options_.fit.r2_threshold =
+      options_.fit.r2_threshold > 0.0 ? options_.fit.r2_threshold : 0.7;
+}
+
+void PlbHecScheduler::start(const std::vector<rt::UnitInfo>& units,
+                            const rt::WorkInfo& work) {
+  PLBHEC_EXPECTS(!units.empty());
+  units_ = units;
+  work_ = work;
+  profiles_.reset(units.size(), work.total_grains);
+
+  initial_block_ = options_.initial_block ? options_.initial_block
+                                          : std::max<std::size_t>(
+                                                1, work.initial_block);
+  phase_ = Phase::kModeling;
+  probe_count_.assign(units.size(), 0);
+  per_grain_.assign(units.size(), 0.0);
+  last_probe_grains_.assign(units.size(), 0.0);
+  last_probe_time_.assign(units.size(), 0.0);
+  prev_probe_grains_.assign(units.size(), 0.0);
+  prev_probe_time_.assign(units.size(), 0.0);
+  modeling_issued_ = 0;
+  failed_.assign(units.size(), false);
+  models_.clear();
+  fractions_.clear();
+  exec_block_.assign(units.size(), 0);
+  last_duration_.assign(units.size(), 0.0);
+  gen_samples_.assign(units.size(), 0);
+  refine_budget_ = options_.refinements;
+  pending_rebalance_ = false;
+  bonus_unit_.reset();
+  threshold_strikes_.assign(units.size(), 0);
+  issued_grains_ = 0;
+  generation_ = 0;
+  issue_gen_.assign(units.size(), 0);
+  grains_consumed_ = 0.0;
+  stats_ = {};
+}
+
+std::size_t PlbHecScheduler::alive_count() const {
+  std::size_t n = 0;
+  for (bool f : failed_)
+    if (!f) ++n;
+  return n;
+}
+
+std::size_t PlbHecScheduler::plan_probe_block(rt::UnitId unit) const {
+  // §III-B: probe k of a unit is initialBlockSize * 2^(k-1), rescaled by
+  // the performance preview t_f / t_k. We apply the preview on *marginal*
+  // per-grain times (the slope between the last two probes, clamped near
+  // the average) rather than raw round durations: average per-grain time
+  // misleads on devices whose small-block time is flat (one GPU wave costs
+  // the same for 10 or 100 grains) and would shrink their probes into a
+  // dead end, while the marginal cost correctly signals "bigger blocks are
+  // nearly free here".
+  const std::size_t k = probe_count_[unit];  // probes already done
+  const double multiplier = std::min(
+      std::pow(2.0, static_cast<double>(k)),
+      static_cast<double>(options_.max_probe_multiplier));
+
+  auto marginal_tau = [&](rt::UnitId u) -> double {
+    if (last_probe_grains_[u] <= 0.0 || last_probe_time_[u] <= 0.0)
+      return 0.0;
+    const double avg = last_probe_time_[u] / last_probe_grains_[u];
+    if (prev_probe_grains_[u] > 0.0 &&
+        last_probe_grains_[u] != prev_probe_grains_[u]) {
+      const double marg = (last_probe_time_[u] - prev_probe_time_[u]) /
+                          (last_probe_grains_[u] - prev_probe_grains_[u]);
+      return std::clamp(marg, avg / 16.0, avg * 16.0);
+    }
+    return avg;
+  };
+
+  double tau_f = 0.0;
+  for (rt::UnitId u = 0; u < units_.size(); ++u) {
+    if (failed_[u]) continue;
+    const double tau = marginal_tau(u);
+    if (tau <= 0.0) continue;
+    if (tau_f == 0.0 || tau < tau_f) tau_f = tau;
+  }
+  double scale = 1.0;
+  const double tau_self = marginal_tau(unit);
+  if (tau_f > 0.0 && tau_self > 0.0)
+    scale = std::clamp(tau_f / tau_self, 1.0 / 1024.0, 8.0);
+
+  double size = multiplier * static_cast<double>(initial_block_) * scale;
+
+  // The paper's 20% rule: never let probing overrun the modeling budget.
+  // Budgeted on *issued* grains so concurrent in-flight probes cannot
+  // collectively overshoot.
+  const double budget = options_.modeling_data_cap *
+                            static_cast<double>(work_.total_grains) -
+                        static_cast<double>(modeling_issued_);
+  size = std::min(size, std::max(budget, 1.0));
+  return std::max<std::size_t>(1, static_cast<std::size_t>(std::llround(size)));
+}
+
+std::size_t PlbHecScheduler::next_block(rt::UnitId unit, double /*now*/) {
+  PLBHEC_EXPECTS(unit < units_.size());
+  if (failed_[unit]) return 0;
+
+  if (phase_ == Phase::kModeling) {
+    const std::size_t block = plan_probe_block(unit);
+    issued_grains_ += block;
+    modeling_issued_ += block;
+    issue_gen_[unit] = generation_;
+    return block;
+  }
+
+  // Execution phase. The nominal block is the unit's fraction of one
+  // window; once less than a full window remains, blocks shrink with the
+  // pool so all units run dry together instead of some idling through the
+  // last window.
+  const std::size_t remaining =
+      work_.total_grains - std::min(issued_grains_, work_.total_grains);
+  if (remaining == 0) return 0;
+  const double window = options_.step_fraction *
+                        static_cast<double>(work_.total_grains);
+  const double effective = std::min(window, static_cast<double>(remaining));
+  const double nominal = fractions_.empty() ? 0.0 : fractions_[unit];
+  const std::size_t block = std::max<std::size_t>(
+      1, static_cast<std::size_t>(std::llround(nominal * effective)));
+
+  if (pending_rebalance_) {
+    // Paper §III-D: the unit that detected the threshold receives one more
+    // task so it does not idle while the others drain toward the sync.
+    if (bonus_unit_ && *bonus_unit_ == unit) {
+      bonus_unit_.reset();
+      issued_grains_ += block;
+      issue_gen_[unit] = generation_;
+      return block;
+    }
+    return 0;
+  }
+  issued_grains_ += block;
+  issue_gen_[unit] = generation_;
+  return block;
+}
+
+void PlbHecScheduler::maybe_finish_modeling() {
+  const double cap = options_.modeling_data_cap *
+                     static_cast<double>(work_.total_grains);
+  bool data_cap_hit =
+      stats_.modeling_grains + static_cast<double>(alive_count()) >= cap;
+
+  bool enough_samples = true;
+  for (rt::UnitId u = 0; u < units_.size(); ++u) {
+    if (failed_[u]) continue;
+    if (probe_count_[u] < options_.min_probe_rounds) enough_samples = false;
+    // A unit with fewer than three samples has no reliable slope: exact
+    // 2-point fits tie across curve families and extrapolate arbitrarily.
+    // Keep probing (the budget clamp shrinks everyone else's probes to a
+    // single grain meanwhile).
+    if (probe_count_[u] < 3) data_cap_hit = false;
+  }
+
+  bool fits_acceptable = false;
+  if (enough_samples && !data_cap_hit) {
+    fits_acceptable = true;
+    for (rt::UnitId u = 0; u < units_.size(); ++u) {
+      if (failed_[u]) continue;
+      const fit::FitResult f =
+          fit::select_model(profiles_.exec_samples(u), options_.fit);
+      if (!f.acceptable) {
+        fits_acceptable = false;
+        break;
+      }
+    }
+  }
+
+  if ((enough_samples && fits_acceptable) || data_cap_hit) {
+    phase_ = Phase::kExecuting;
+    fit_and_select();
+  }
+}
+
+void PlbHecScheduler::on_complete(const rt::TaskObservation& obs) {
+  PLBHEC_EXPECTS(obs.unit < units_.size());
+  profiles_.record(obs);
+  grains_consumed_ += static_cast<double>(obs.grains);
+
+  const double duration = obs.transfer_seconds + obs.exec_seconds;
+  if (obs.grains > 0)
+    per_grain_[obs.unit] = duration / static_cast<double>(obs.grains);
+
+  if (phase_ == Phase::kModeling) {
+    ++probe_count_[obs.unit];
+    stats_.probe_rounds =
+        std::max(stats_.probe_rounds, probe_count_[obs.unit]);
+    stats_.modeling_grains += static_cast<double>(obs.grains);
+    prev_probe_grains_[obs.unit] = last_probe_grains_[obs.unit];
+    prev_probe_time_[obs.unit] = last_probe_time_[obs.unit];
+    last_probe_grains_[obs.unit] = static_cast<double>(obs.grains);
+    last_probe_time_[obs.unit] = duration;
+    maybe_finish_modeling();
+    return;
+  }
+
+  // Execution phase.
+  if (issue_gen_[obs.unit] == generation_) {
+    last_duration_[obs.unit] = duration;
+    ++gen_samples_[obs.unit];
+  }
+  if (pending_rebalance_) return;
+
+  // Progressive refinement (§II): once every unit has produced one
+  // large-block sample under the current selection, re-fit and update the
+  // fractions for future blocks. No drain — only future requests change.
+  if (refine_budget_ > 0) {
+    bool all_sampled = true;
+    for (rt::UnitId u = 0; u < units_.size(); ++u)
+      if (!failed_[u] && gen_samples_[u] == 0) all_sampled = false;
+    if (all_sampled) {
+      --refine_budget_;
+      ++stats_.refinements;
+      fit_and_select();
+      return;
+    }
+    // Until the *first* refinement, the fractions are known to be
+    // provisional (fitted from small probe blocks only); draining the
+    // whole cluster over their imperfection would cost more than the
+    // refinement that is about to fix them. Later refinements run with
+    // the threshold monitor active so genuine drift still forces a sync.
+    if (refine_budget_ == options_.refinements) return;
+  }
+
+  // Rebalancing the last sliver of the input costs a full drain and cannot
+  // pay for itself: skip the check once most grains have been handed out.
+  const double window = options_.step_fraction *
+                        static_cast<double>(work_.total_grains);
+  if (static_cast<double>(work_.total_grains -
+                          std::min(issued_grains_, work_.total_grains)) <
+      0.5 * window)
+    return;
+
+  // Threshold monitoring (§III-D). The selection equalizes the *predicted*
+  // E_g of every block, so "the difference in finishing times between any
+  // two tasks exceeds the threshold" is equivalent to one unit's observed
+  // duration deviating from its model's prediction by the threshold —
+  // and the deviation form stays valid across selections and block sizes
+  // (tasks are asynchronous here, not round-aligned).
+  if (obs.unit >= models_.size() || !models_[obs.unit].valid() ||
+      obs.grains == 0)
+    return;
+  const double x = profiles_.grains_to_fraction(obs.grains);
+  const double predicted = models_[obs.unit].total_time(x);
+  if (predicted <= 0.0) return;
+  const double deviation = std::fabs(duration - predicted) / predicted;
+  if (deviation > options_.rebalance_threshold) {
+    if (++threshold_strikes_[obs.unit] >= options_.rebalance_strikes) {
+      pending_rebalance_ = true;
+      bonus_unit_ = obs.unit;
+      threshold_strikes_.assign(units_.size(), 0);
+      ++stats_.rebalances;
+    }
+  } else {
+    threshold_strikes_[obs.unit] = 0;
+  }
+}
+
+void PlbHecScheduler::fit_and_select() {
+  ++generation_;
+  models_ = profiles_.fit_all(options_.fit);
+
+  // Build the model list over alive units only.
+  std::vector<fit::PerfModel> alive_models;
+  std::vector<rt::UnitId> alive_ids;
+  for (rt::UnitId u = 0; u < units_.size(); ++u) {
+    if (failed_[u]) continue;
+    PLBHEC_ASSERT(models_[u].valid());
+    alive_models.push_back(models_[u]);
+    alive_ids.push_back(u);
+  }
+  PLBHEC_EXPECTS(!alive_models.empty());
+
+  // Solve the equal-time system at the *window* level (Eq. 3-5 with the
+  // simplex right-hand side equal to one execution window): with nonlinear
+  // curves, equal E at full shares does not imply equal E for the blocks
+  // actually issued, and window-level shares stay within the probed range.
+  solver::BlockSelectionOptions sel_opt = options_.selection;
+  sel_opt.total_fraction = options_.step_fraction;
+  const solver::BlockSelection sel =
+      solver::select_block_sizes(alive_models, sel_opt);
+  ++stats_.solves;
+  stats_.solve_seconds.push_back(sel.solve_seconds);
+  if (sel.used_fallback) ++stats_.fallback_solves;
+
+  fractions_.assign(units_.size(), 0.0);
+  if (sel.ok) {
+    // Normalize window shares to a unit sum: next_block() multiplies by
+    // the effective window, and Fig. 6 reports the normalized shares.
+    for (std::size_t i = 0; i < alive_ids.size(); ++i)
+      fractions_[alive_ids[i]] = sel.fractions[i] / options_.step_fraction;
+  } else {
+    // Pathological fits everywhere: fall back to a uniform split.
+    for (rt::UnitId u : alive_ids)
+      fractions_[u] = 1.0 / static_cast<double>(alive_ids.size());
+  }
+
+  stats_.fraction_history.push_back(fractions_);
+
+  // Nominal per-task block of a full window (kept for introspection).
+  const double window = options_.step_fraction *
+                        static_cast<double>(work_.total_grains);
+  for (rt::UnitId u = 0; u < units_.size(); ++u) {
+    exec_block_[u] = failed_[u] ? 0
+                                : std::max<std::size_t>(
+                                      1, static_cast<std::size_t>(
+                                             std::llround(fractions_[u] *
+                                                          window)));
+  }
+  last_duration_.assign(units_.size(), 0.0);
+  gen_samples_.assign(units_.size(), 0);
+}
+
+void PlbHecScheduler::on_barrier(double /*now*/) {
+  if (phase_ == Phase::kModeling) {
+    // Asynchronous probing never parks units, so a barrier here means the
+    // engine drained for another reason (e.g. failures): force selection.
+    maybe_finish_modeling();
+    if (phase_ == Phase::kModeling) {
+      phase_ = Phase::kExecuting;
+      fit_and_select();
+    }
+    return;
+  }
+
+  // Execution phase barrier: the drain for a pending rebalance finished.
+  if (pending_rebalance_) {
+    pending_rebalance_ = false;
+    bonus_unit_.reset();
+    fit_and_select();
+    return;
+  }
+  // A barrier with no pending rebalance means the engine still holds work
+  // our issued-count says is gone (engine-side clamping of a past block).
+  // At a barrier nothing is in flight, so the true consumption equals the
+  // completed count — resynchronize and keep serving.
+  issued_grains_ = static_cast<std::size_t>(grains_consumed_);
+}
+
+void PlbHecScheduler::on_unit_failed(rt::UnitId unit,
+                                     std::size_t lost_grains,
+                                     double /*now*/) {
+  PLBHEC_EXPECTS(unit < units_.size());
+  if (failed_[unit]) return;
+  failed_[unit] = true;
+  // The unit's in-flight block returned to the pool: credit it back so the
+  // remaining-work estimate (and the shrinking tail windows) stay correct.
+  issued_grains_ -= std::min(lost_grains, issued_grains_);
+  if (alive_count() == 0) return;
+  if (phase_ == Phase::kExecuting) {
+    // Redistribute the failed unit's share across the survivors (§VI).
+    fit_and_select();
+  }
+}
+
+}  // namespace plbhec::core

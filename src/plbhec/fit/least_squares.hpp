@@ -1,0 +1,76 @@
+#pragma once
+/// \file least_squares.hpp
+/// Curve fitting for the performance-modeling phase (§III-B):
+///  - fit a fixed term subset by (optionally weighted) least squares;
+///  - select the best subset of the paper's basis set by BIC with the
+///    R^2 >= threshold acceptance rule;
+///  - fit the affine transfer model G_p(x) = a1 x + a2 with non-negativity
+///    clamping (bandwidth and latency cannot be negative).
+
+#include <optional>
+#include <span>
+
+#include "plbhec/fit/model.hpp"
+#include "plbhec/fit/samples.hpp"
+
+namespace plbhec::fit {
+
+/// Options for subset model selection.
+struct SelectionOptions {
+  /// Acceptance threshold on the coefficient of determination; the paper
+  /// uses 0.7 ("a good approximation ... and prevents overfitting").
+  double r2_threshold = 0.7;
+  /// Parsimony escalation bar: the subset search stops at the smallest
+  /// term-count class whose best fit reaches this R^2. Kept well above
+  /// r2_threshold so genuinely curved profiles (GPU efficiency ramps) are
+  /// not flattened into a line the moment the line scrapes past 0.7.
+  double class_r2 = 0.98;
+  /// Largest number of non-intercept terms in a candidate subset. The
+  /// paper's Eq. (1) allows any combination; 3 keeps selection O(60) fits
+  /// and prevents overfitting on the few probe points available early.
+  std::size_t max_terms = 3;
+  /// Always include the intercept (launch/queueing overhead) term.
+  bool include_intercept = true;
+  /// Weight samples by 1/time (relative-error emphasis) instead of
+  /// uniformly. Off by default to match plain least squares in the paper.
+  bool relative_weighting = false;
+  /// Require at least this many samples per fitted parameter; prevents
+  /// interpolating fits (4 points, 4 params, R^2 = 1) whose extrapolation
+  /// is meaningless. 2 means a 4-point probe can support 2 parameters.
+  std::size_t samples_per_param = 2;
+  /// Reject candidate models that go negative or decrease substantially on
+  /// (0, 1]: execution time is physically non-negative and non-decreasing
+  /// in the block size. Falls back to the unfiltered best when every
+  /// candidate violates it.
+  bool physical_filter = true;
+};
+
+/// Result of fitting one processing unit's execution-time curve.
+struct FitResult {
+  CurveModel model;
+  double r2 = 0.0;
+  double bic = 0.0;
+  bool acceptable = false;  ///< r2 >= threshold
+};
+
+/// Fits the given term subset to the samples. Returns nullopt when the
+/// system is underdetermined (fewer samples than terms) or degenerate.
+[[nodiscard]] std::optional<FitResult> fit_terms(
+    const SampleSet& samples, std::span<const BasisFn> terms,
+    bool relative_weighting = false);
+
+/// Enumerates subsets of `candidate_terms` (size 1..max_terms, plus the
+/// intercept when enabled), fits each, and returns the best by BIC.
+/// `acceptable` reflects the paper's R^2 >= threshold rule.
+[[nodiscard]] FitResult select_model(const SampleSet& samples,
+                                     const SelectionOptions& options = {});
+
+/// Same but with an explicit candidate list (used by the basis ablation).
+[[nodiscard]] FitResult select_model_from(
+    const SampleSet& samples, std::span<const BasisFn> candidate_terms,
+    const SelectionOptions& options = {});
+
+/// Fits G_p(x) = slope * x + latency, clamping both to be non-negative.
+[[nodiscard]] TransferModel fit_transfer(const SampleSet& samples);
+
+}  // namespace plbhec::fit

@@ -1,0 +1,60 @@
+#pragma once
+/// \file model.hpp
+/// Fitted performance models: F_p(x) (execution time), G_p(x) (transfer
+/// time) and their sum E_p(x), with first and second derivatives for the
+/// interior-point solver.
+
+#include <string>
+#include <vector>
+
+#include "plbhec/fit/basis.hpp"
+
+namespace plbhec::fit {
+
+/// Linear combination of basis functions: sum_i coeff[i] * term[i](x).
+struct CurveModel {
+  std::vector<BasisFn> terms;
+  std::vector<double> coefficients;
+  double r2 = 0.0;  ///< coefficient of determination on the training samples
+
+  [[nodiscard]] double operator()(double x) const;
+  [[nodiscard]] double derivative(double x) const;
+  [[nodiscard]] double second_derivative(double x) const;
+  [[nodiscard]] bool valid() const {
+    return !terms.empty() && terms.size() == coefficients.size();
+  }
+  /// Human-readable formula, e.g. "0.013 + 1.27*x + 0.004*ln(x)".
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Affine transfer-time model G_p(x) = bandwidth_term * x + latency (Eq. 2).
+struct TransferModel {
+  double slope = 0.0;    ///< a1: inverse effective bandwidth (s per fraction)
+  double latency = 0.0;  ///< a2: network + PCIe latency (s)
+  double r2 = 1.0;
+
+  [[nodiscard]] double operator()(double x) const {
+    return slope * x + latency;
+  }
+  [[nodiscard]] double derivative(double) const { return slope; }
+};
+
+/// Complete per-processing-unit model: E_p(x) = F_p(x) + G_p(x).
+struct PerfModel {
+  CurveModel exec;
+  TransferModel transfer;
+
+  [[nodiscard]] double execution_time(double x) const { return exec(x); }
+  [[nodiscard]] double total_time(double x) const {
+    return exec(x) + transfer(x);
+  }
+  [[nodiscard]] double total_derivative(double x) const {
+    return exec.derivative(x) + transfer.derivative(x);
+  }
+  [[nodiscard]] double total_second_derivative(double x) const {
+    return exec.second_derivative(x);
+  }
+  [[nodiscard]] bool valid() const { return exec.valid(); }
+};
+
+}  // namespace plbhec::fit

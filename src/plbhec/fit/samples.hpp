@@ -1,0 +1,51 @@
+#pragma once
+/// \file samples.hpp
+/// Measurement samples collected during the performance-modeling phase:
+/// (block-size fraction, observed time) pairs for execution and transfer.
+
+#include <cstddef>
+#include <vector>
+
+#include "plbhec/common/contracts.hpp"
+
+namespace plbhec::fit {
+
+/// One profiling observation for a processing unit.
+struct Sample {
+  double x = 0.0;     ///< block size as a fraction of the total input, (0, 1]
+  double time = 0.0;  ///< observed seconds
+};
+
+/// Growable set of samples with cheap column views for the fitters.
+class SampleSet {
+ public:
+  void add(double x, double time) {
+    PLBHEC_EXPECTS(x > 0.0);
+    PLBHEC_EXPECTS(time >= 0.0);
+    samples_.push_back({x, time});
+  }
+
+  [[nodiscard]] std::size_t size() const { return samples_.size(); }
+  [[nodiscard]] bool empty() const { return samples_.empty(); }
+  [[nodiscard]] const std::vector<Sample>& items() const { return samples_; }
+
+  [[nodiscard]] std::vector<double> xs() const {
+    std::vector<double> v;
+    v.reserve(samples_.size());
+    for (const auto& s : samples_) v.push_back(s.x);
+    return v;
+  }
+  [[nodiscard]] std::vector<double> times() const {
+    std::vector<double> v;
+    v.reserve(samples_.size());
+    for (const auto& s : samples_) v.push_back(s.time);
+    return v;
+  }
+
+  void clear() { samples_.clear(); }
+
+ private:
+  std::vector<Sample> samples_;
+};
+
+}  // namespace plbhec::fit

@@ -1,0 +1,24 @@
+#pragma once
+/// \file blas.hpp
+/// Cache-blocked GEMM used as the *real* CPU kernel of the matrix
+/// multiplication application (the paper uses CUBLAS on the GPU side; our
+/// host kernel validates numerics while the simulator provides GPU timing).
+
+#include <cstddef>
+#include <span>
+
+namespace plbhec::linalg::blas {
+
+/// C (m x n) += A (m x k) * B (k x n); row-major, leading dimensions =
+/// logical widths. Cache-blocked with an i-k-j loop order.
+void gemm(std::size_t m, std::size_t n, std::size_t k,
+          std::span<const double> a, std::span<const double> b,
+          std::span<double> c);
+
+/// Multi-threaded variant: splits the m dimension across `threads` host
+/// threads (>= 1). Falls back to the serial kernel for small work.
+void gemm_parallel(std::size_t m, std::size_t n, std::size_t k,
+                   std::span<const double> a, std::span<const double> b,
+                   std::span<double> c, unsigned threads);
+
+}  // namespace plbhec::linalg::blas

@@ -1,0 +1,49 @@
+#include "plbhec/linalg/cholesky.hpp"
+
+#include <cmath>
+
+namespace plbhec::linalg {
+
+std::optional<Cholesky> Cholesky::factor(const Matrix& a, double tol) {
+  PLBHEC_EXPECTS(a.rows() == a.cols());
+  const std::size_t n = a.rows();
+  Matrix l(n, n);
+  for (std::size_t j = 0; j < n; ++j) {
+    double d = a(j, j);
+    for (std::size_t k = 0; k < j; ++k) d -= l(j, k) * l(j, k);
+    if (d <= tol) return std::nullopt;
+    const double ljj = std::sqrt(d);
+    l(j, j) = ljj;
+    const double inv = 1.0 / ljj;
+    for (std::size_t i = j + 1; i < n; ++i) {
+      double s = a(i, j);
+      for (std::size_t k = 0; k < j; ++k) s -= l(i, k) * l(j, k);
+      l(i, j) = s * inv;
+    }
+  }
+  return Cholesky(std::move(l));
+}
+
+Vector Cholesky::solve(std::span<const double> b) const {
+  const std::size_t n = l_.rows();
+  PLBHEC_EXPECTS(b.size() == n);
+  Vector y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double acc = b[i];
+    for (std::size_t j = 0; j < i; ++j) acc -= l_(i, j) * y[j];
+    y[i] = acc / l_(i, i);
+  }
+  Vector x(n);
+  for (std::size_t ii = n; ii-- > 0;) {
+    double acc = y[ii];
+    for (std::size_t j = ii + 1; j < n; ++j) acc -= l_(j, ii) * x[j];
+    x[ii] = acc / l_(ii, ii);
+  }
+  return x;
+}
+
+bool is_positive_definite(const Matrix& a) {
+  return Cholesky::factor(a).has_value();
+}
+
+}  // namespace plbhec::linalg

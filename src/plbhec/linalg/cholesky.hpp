@@ -1,0 +1,33 @@
+#pragma once
+/// \file cholesky.hpp
+/// Cholesky (LL^T) factorization for symmetric positive-definite systems.
+/// Used for the normal-equation fallback in curve fitting and as a cheap
+/// positive-definiteness probe in the interior-point Hessian regularization.
+
+#include <optional>
+
+#include "plbhec/linalg/matrix.hpp"
+
+namespace plbhec::linalg {
+
+class Cholesky {
+ public:
+  /// Factorizes a symmetric positive-definite matrix. Returns nullopt when
+  /// a non-positive pivot is met (matrix not PD within tolerance).
+  [[nodiscard]] static std::optional<Cholesky> factor(const Matrix& a,
+                                                      double tol = 0.0);
+
+  [[nodiscard]] Vector solve(std::span<const double> b) const;
+
+  [[nodiscard]] std::size_t size() const { return l_.rows(); }
+  [[nodiscard]] const Matrix& l() const { return l_; }
+
+ private:
+  explicit Cholesky(Matrix l) : l_(std::move(l)) {}
+  Matrix l_;  // lower-triangular factor
+};
+
+/// True iff `a` (assumed symmetric) is positive definite.
+[[nodiscard]] bool is_positive_definite(const Matrix& a);
+
+}  // namespace plbhec::linalg

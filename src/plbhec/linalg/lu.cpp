@@ -1,0 +1,115 @@
+#include "plbhec/linalg/lu.hpp"
+
+#include <cmath>
+#include <limits>
+
+namespace plbhec::linalg {
+
+std::optional<Lu> Lu::factor(Matrix a, double pivot_tol) {
+  PLBHEC_EXPECTS(a.rows() == a.cols());
+  const std::size_t n = a.rows();
+  std::vector<std::size_t> perm(n);
+  for (std::size_t i = 0; i < n; ++i) perm[i] = i;
+  int sign = 1;
+
+  for (std::size_t k = 0; k < n; ++k) {
+    // Partial pivoting: find the largest magnitude entry in column k.
+    std::size_t piv = k;
+    double piv_val = std::fabs(a(k, k));
+    for (std::size_t r = k + 1; r < n; ++r) {
+      const double v = std::fabs(a(r, k));
+      if (v > piv_val) {
+        piv_val = v;
+        piv = r;
+      }
+    }
+    if (piv_val < pivot_tol) return std::nullopt;
+    if (piv != k) {
+      for (std::size_t c = 0; c < n; ++c) std::swap(a(k, c), a(piv, c));
+      std::swap(perm[k], perm[piv]);
+      sign = -sign;
+    }
+    const double inv_piv = 1.0 / a(k, k);
+    for (std::size_t r = k + 1; r < n; ++r) {
+      const double m = a(r, k) * inv_piv;
+      a(r, k) = m;  // store L factor in-place
+      if (m == 0.0) continue;
+      for (std::size_t c = k + 1; c < n; ++c) a(r, c) -= m * a(k, c);
+    }
+  }
+  return Lu(std::move(a), std::move(perm), sign);
+}
+
+Vector Lu::solve(std::span<const double> b) const {
+  const std::size_t n = lu_.rows();
+  PLBHEC_EXPECTS(b.size() == n);
+  Vector x(n);
+  // Apply permutation and forward-substitute L y = P b.
+  for (std::size_t i = 0; i < n; ++i) {
+    double acc = b[perm_[i]];
+    for (std::size_t j = 0; j < i; ++j) acc -= lu_(i, j) * x[j];
+    x[i] = acc;
+  }
+  // Back-substitute U x = y.
+  for (std::size_t ii = n; ii-- > 0;) {
+    double acc = x[ii];
+    for (std::size_t j = ii + 1; j < n; ++j) acc -= lu_(ii, j) * x[j];
+    x[ii] = acc / lu_(ii, ii);
+  }
+  return x;
+}
+
+Matrix Lu::solve(const Matrix& b) const {
+  PLBHEC_EXPECTS(b.rows() == lu_.rows());
+  Matrix x(b.rows(), b.cols());
+  Vector col(b.rows());
+  for (std::size_t c = 0; c < b.cols(); ++c) {
+    for (std::size_t r = 0; r < b.rows(); ++r) col[r] = b(r, c);
+    const Vector sol = solve(col);
+    for (std::size_t r = 0; r < b.rows(); ++r) x(r, c) = sol[r];
+  }
+  return x;
+}
+
+double Lu::determinant() const {
+  double det = static_cast<double>(perm_sign_);
+  for (std::size_t i = 0; i < lu_.rows(); ++i) det *= lu_(i, i);
+  return det;
+}
+
+std::size_t Lu::negative_pivots() const {
+  std::size_t count = 0;
+  for (std::size_t i = 0; i < lu_.rows(); ++i)
+    if (lu_(i, i) < 0.0) ++count;
+  return count;
+}
+
+std::optional<Vector> solve(const Matrix& a, std::span<const double> b) {
+  auto lu = Lu::factor(a);
+  if (!lu) return std::nullopt;
+  return lu->solve(b);
+}
+
+double condition_estimate(const Matrix& a) {
+  PLBHEC_EXPECTS(a.rows() == a.cols());
+  const std::size_t n = a.rows();
+  if (n == 0) return 0.0;
+  auto lu = Lu::factor(a);
+  if (!lu) return std::numeric_limits<double>::infinity();
+
+  double norm_a = 0.0;
+  for (std::size_t r = 0; r < n; ++r) {
+    double row_sum = 0.0;
+    for (std::size_t c = 0; c < n; ++c) row_sum += std::fabs(a(r, c));
+    norm_a = std::max(norm_a, row_sum);
+  }
+
+  // One step of Hager's estimator for ||A^{-1}||_inf using A^{-1} e / n.
+  Vector e(n, 1.0 / static_cast<double>(n));
+  Vector x = lu->solve(e);
+  double norm_inv = 0.0;
+  for (double v : x) norm_inv += std::fabs(v);
+  return norm_a * norm_inv;
+}
+
+}  // namespace plbhec::linalg

@@ -1,0 +1,144 @@
+#include "plbhec/linalg/qr.hpp"
+
+#include <cmath>
+#include <limits>
+
+namespace plbhec::linalg {
+
+Qr Qr::factor(Matrix a) {
+  const std::size_t m = a.rows();
+  const std::size_t n = a.cols();
+  PLBHEC_EXPECTS(m >= n);
+  Vector beta(n, 0.0);
+
+  for (std::size_t k = 0; k < n; ++k) {
+    // Householder vector for column k, rows k..m-1.
+    double norm = 0.0;
+    for (std::size_t i = k; i < m; ++i) norm += a(i, k) * a(i, k);
+    norm = std::sqrt(norm);
+    if (norm == 0.0) {
+      beta[k] = 0.0;
+      continue;
+    }
+    const double alpha = a(k, k) >= 0.0 ? -norm : norm;
+    const double v0 = a(k, k) - alpha;
+    // v = [v0, a(k+1..m-1, k)]; normalize so v[0] = 1 (stored implicitly).
+    double vtv = v0 * v0;
+    for (std::size_t i = k + 1; i < m; ++i) vtv += a(i, k) * a(i, k);
+    if (vtv == 0.0) {
+      beta[k] = 0.0;
+      a(k, k) = alpha;
+      continue;
+    }
+    beta[k] = 2.0 * v0 * v0 / vtv;  // beta for the v/v0-scaled vector
+    const double inv_v0 = 1.0 / v0;
+    for (std::size_t i = k + 1; i < m; ++i) a(i, k) *= inv_v0;
+    a(k, k) = alpha;
+
+    // Apply H = I - beta v v^T to the trailing columns.
+    for (std::size_t j = k + 1; j < n; ++j) {
+      double s = a(k, j);
+      for (std::size_t i = k + 1; i < m; ++i) s += a(i, k) * a(i, j);
+      s *= beta[k];
+      a(k, j) -= s;
+      for (std::size_t i = k + 1; i < m; ++i) a(i, j) -= s * a(i, k);
+    }
+  }
+  return Qr(std::move(a), std::move(beta));
+}
+
+LsSolution Qr::solve(std::span<const double> b, double rank_tol) const {
+  const std::size_t m = qr_.rows();
+  const std::size_t n = qr_.cols();
+  PLBHEC_EXPECTS(b.size() == m);
+
+  // y = Q^T b by applying the stored Householder reflections in order.
+  Vector y(b.begin(), b.end());
+  for (std::size_t k = 0; k < n; ++k) {
+    if (beta_[k] == 0.0) continue;
+    double s = y[k];
+    for (std::size_t i = k + 1; i < m; ++i) s += qr_(i, k) * y[i];
+    s *= beta_[k];
+    y[k] -= s;
+    for (std::size_t i = k + 1; i < m; ++i) y[i] -= s * qr_(i, k);
+  }
+
+  double max_diag = 0.0;
+  for (std::size_t k = 0; k < n; ++k)
+    max_diag = std::max(max_diag, std::fabs(qr_(k, k)));
+  const double tol = rank_tol * (max_diag > 0.0 ? max_diag : 1.0);
+
+  LsSolution sol;
+  sol.coefficients.assign(n, 0.0);
+  sol.rank = 0;
+  // Back substitution on R, zeroing rank-deficient coordinates.
+  for (std::size_t kk = n; kk-- > 0;) {
+    if (std::fabs(qr_(kk, kk)) <= tol) {
+      sol.coefficients[kk] = 0.0;
+      continue;
+    }
+    double acc = y[kk];
+    for (std::size_t j = kk + 1; j < n; ++j)
+      acc -= qr_(kk, j) * sol.coefficients[j];
+    sol.coefficients[kk] = acc / qr_(kk, kk);
+    ++sol.rank;
+  }
+
+  double res = 0.0;
+  for (std::size_t i = n; i < m; ++i) res += y[i] * y[i];
+  // Add contributions from zeroed (rank-deficient) rows.
+  for (std::size_t k = 0; k < n; ++k) {
+    if (std::fabs(qr_(k, k)) <= tol) {
+      double acc = y[k];
+      for (std::size_t j = k + 1; j < n; ++j)
+        acc -= qr_(k, j) * sol.coefficients[j];
+      res += acc * acc;
+    }
+  }
+  sol.residual_norm = std::sqrt(res);
+  return sol;
+}
+
+double Qr::r_diag_ratio() const {
+  const std::size_t n = qr_.cols();
+  if (n == 0) return 0.0;
+  double mx = 0.0;
+  double mn = std::numeric_limits<double>::infinity();
+  for (std::size_t k = 0; k < n; ++k) {
+    const double d = std::fabs(qr_(k, k));
+    mx = std::max(mx, d);
+    mn = std::min(mn, d);
+  }
+  return mn == 0.0 ? std::numeric_limits<double>::infinity() : mx / mn;
+}
+
+std::optional<LsSolution> least_squares(const Matrix& a,
+                                        std::span<const double> b) {
+  PLBHEC_EXPECTS(a.rows() == b.size());
+  const std::size_t n = a.cols();
+  if (n == 0 || a.rows() < n) return std::nullopt;
+
+  // Column equilibration: scale each column to unit 2-norm so the wildly
+  // different magnitudes of the basis functions (x^3 vs ln x) do not destroy
+  // the factorization.
+  Vector col_scale(n, 1.0);
+  Matrix scaled = a;
+  bool any_nonzero = false;
+  for (std::size_t c = 0; c < n; ++c) {
+    double norm = 0.0;
+    for (std::size_t r = 0; r < a.rows(); ++r) norm += a(r, c) * a(r, c);
+    norm = std::sqrt(norm);
+    if (norm > 0.0) {
+      any_nonzero = true;
+      col_scale[c] = 1.0 / norm;
+      for (std::size_t r = 0; r < a.rows(); ++r) scaled(r, c) *= col_scale[c];
+    }
+  }
+  if (!any_nonzero) return std::nullopt;
+
+  auto sol = Qr::factor(std::move(scaled)).solve(b);
+  for (std::size_t c = 0; c < n; ++c) sol.coefficients[c] *= col_scale[c];
+  return sol;
+}
+
+}  // namespace plbhec::linalg

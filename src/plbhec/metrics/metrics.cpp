@@ -1,0 +1,78 @@
+#include "plbhec/metrics/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "plbhec/common/contracts.hpp"
+#include "plbhec/common/csv.hpp"
+#include "plbhec/common/stats.hpp"
+#include "plbhec/common/table.hpp"
+
+namespace plbhec::metrics {
+
+std::vector<double> processed_shares(const rt::RunResult& run) {
+  std::vector<double> shares(run.unit_stats.size(), 0.0);
+  if (run.total_grains == 0) return shares;
+  for (std::size_t u = 0; u < run.unit_stats.size(); ++u)
+    shares[u] = static_cast<double>(run.unit_stats[u].grains) /
+                static_cast<double>(run.total_grains);
+  return shares;
+}
+
+std::vector<double> idle_percent(const rt::RunResult& run) {
+  std::vector<double> idle(run.unit_stats.size(), 0.0);
+  for (std::size_t u = 0; u < run.unit_stats.size(); ++u)
+    idle[u] = 100.0 * std::clamp(run.idle_fraction(u), 0.0, 1.0);
+  return idle;
+}
+
+std::string ascii_gantt(const rt::RunResult& run, std::size_t width) {
+  PLBHEC_EXPECTS(width >= 10);
+  std::string out;
+  if (run.makespan <= 0.0) return out;
+
+  std::size_t name_width = 0;
+  for (const auto& u : run.units)
+    name_width = std::max(name_width, u.name.size());
+
+  for (const auto& u : run.units) {
+    std::string row(width, '.');
+    for (const auto& seg : run.trace.segments()) {
+      if (seg.unit != u.id) continue;
+      const auto c0 = static_cast<std::size_t>(
+          seg.start / run.makespan * static_cast<double>(width));
+      auto c1 = static_cast<std::size_t>(
+          seg.end / run.makespan * static_cast<double>(width));
+      c1 = std::min(c1, width - 1);
+      const char mark = seg.kind == rt::SegmentKind::kExec ? '#' : '-';
+      for (std::size_t c = c0; c <= c1 && c < width; ++c) row[c] = mark;
+    }
+    out += u.name + std::string(name_width - u.name.size(), ' ') + " |" +
+           row + "|\n";
+  }
+  return out;
+}
+
+void write_trace_csv(const rt::RunResult& run, const std::string& path) {
+  CsvWriter csv(path);
+  csv.header({"unit", "name", "kind", "start", "end", "grains"});
+  for (const auto& seg : run.trace.segments()) {
+    csv.row({std::to_string(seg.unit), run.units[seg.unit].name,
+             seg.kind == rt::SegmentKind::kExec ? "exec" : "transfer",
+             format_double(seg.start, 9), format_double(seg.end, 9),
+             std::to_string(seg.grains)});
+  }
+}
+
+Aggregate aggregate_makespans(const std::vector<rt::RunResult>& runs) {
+  RunningStats stats;
+  for (const auto& r : runs)
+    if (r.ok) stats.add(r.makespan);
+  Aggregate a;
+  a.mean = stats.mean();
+  a.stddev = stats.stddev();
+  a.runs = stats.count();
+  return a;
+}
+
+}  // namespace plbhec::metrics

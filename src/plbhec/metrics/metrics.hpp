@@ -1,0 +1,40 @@
+#pragma once
+/// \file metrics.hpp
+/// Derived metrics over RunResults: per-unit idleness (Fig. 7), block
+/// distribution shares (Fig. 6), ASCII Gantt charts (Fig. 3) and speedup
+/// summaries (Figs. 4-5).
+
+#include <string>
+#include <vector>
+
+#include "plbhec/rt/engine.hpp"
+
+namespace plbhec::metrics {
+
+/// Fraction of the input each unit processed (sums to 1). This is the
+/// realized distribution; Fig. 6 plots the *selected* distribution, which
+/// schedulers expose directly — both are reported by the bench.
+[[nodiscard]] std::vector<double> processed_shares(const rt::RunResult& run);
+
+/// Per-unit idle percentage of the makespan (Fig. 7).
+[[nodiscard]] std::vector<double> idle_percent(const rt::RunResult& run);
+
+/// ASCII Gantt chart of the run (one row per unit, `width` columns).
+/// '#' = executing, '-' = transferring, '.' = idle.
+[[nodiscard]] std::string ascii_gantt(const rt::RunResult& run,
+                                      std::size_t width = 100);
+
+/// Writes the raw trace as CSV (unit,name,kind,start,end,grains).
+void write_trace_csv(const rt::RunResult& run, const std::string& path);
+
+/// Mean of repeated makespans with its standard deviation.
+struct Aggregate {
+  double mean = 0.0;
+  double stddev = 0.0;
+  std::size_t runs = 0;
+};
+
+[[nodiscard]] Aggregate aggregate_makespans(
+    const std::vector<rt::RunResult>& runs);
+
+}  // namespace plbhec::metrics

@@ -1,0 +1,67 @@
+#include "plbhec/rt/profile_db.hpp"
+
+#include "plbhec/common/contracts.hpp"
+
+namespace plbhec::rt {
+
+ProfileDb::ProfileDb(std::size_t units, std::size_t total_grains) {
+  reset(units, total_grains);
+}
+
+void ProfileDb::reset(std::size_t units, std::size_t total_grains) {
+  PLBHEC_EXPECTS(total_grains > 0);
+  exec_.assign(units, {});
+  transfer_.assign(units, {});
+  total_grains_ = total_grains;
+}
+
+double ProfileDb::grains_to_fraction(std::size_t grains) const {
+  return static_cast<double>(grains) / static_cast<double>(total_grains_);
+}
+
+void ProfileDb::record(const TaskObservation& obs) {
+  PLBHEC_EXPECTS(obs.unit < exec_.size());
+  if (obs.grains == 0) return;
+  const double x = grains_to_fraction(obs.grains);
+  exec_[obs.unit].add(x, obs.exec_seconds);
+  transfer_[obs.unit].add(x, obs.transfer_seconds);
+}
+
+const fit::SampleSet& ProfileDb::exec_samples(UnitId u) const {
+  PLBHEC_EXPECTS(u < exec_.size());
+  return exec_[u];
+}
+
+const fit::SampleSet& ProfileDb::transfer_samples(UnitId u) const {
+  PLBHEC_EXPECTS(u < transfer_.size());
+  return transfer_[u];
+}
+
+fit::PerfModel ProfileDb::fit_unit(UnitId u,
+                                   const fit::SelectionOptions& options) const {
+  PLBHEC_EXPECTS(u < exec_.size());
+  fit::PerfModel model;
+  const fit::FitResult exec_fit = fit::select_model(exec_[u], options);
+  model.exec = exec_fit.model;
+  model.transfer = fit::fit_transfer(transfer_[u]);
+  return model;
+}
+
+std::vector<fit::PerfModel> ProfileDb::fit_all(
+    const fit::SelectionOptions& options) const {
+  std::vector<fit::PerfModel> models;
+  models.reserve(exec_.size());
+  for (UnitId u = 0; u < exec_.size(); ++u)
+    models.push_back(fit_unit(u, options));
+  return models;
+}
+
+bool ProfileDb::all_acceptable(const fit::SelectionOptions& options) const {
+  for (const auto& samples : exec_) {
+    const fit::FitResult f = fit::select_model(samples, options);
+    if (!f.acceptable) return false;
+  }
+  return true;
+}
+
+}  // namespace plbhec::rt

@@ -1,0 +1,50 @@
+#pragma once
+/// \file profile_db.hpp
+/// Per-unit profiling database: accumulates (block fraction, time) samples
+/// for execution and transfer, and fits the paper's performance models on
+/// demand. Shared by PLB-HeC and HDSS.
+
+#include <vector>
+
+#include "plbhec/fit/least_squares.hpp"
+#include "plbhec/fit/samples.hpp"
+#include "plbhec/rt/types.hpp"
+
+namespace plbhec::rt {
+
+class ProfileDb {
+ public:
+  ProfileDb() = default;
+  ProfileDb(std::size_t units, std::size_t total_grains);
+
+  void reset(std::size_t units, std::size_t total_grains);
+
+  /// Records a completed task's profile.
+  void record(const TaskObservation& obs);
+
+  [[nodiscard]] std::size_t units() const { return exec_.size(); }
+  [[nodiscard]] const fit::SampleSet& exec_samples(UnitId u) const;
+  [[nodiscard]] const fit::SampleSet& transfer_samples(UnitId u) const;
+
+  /// Fits F_p and G_p for unit `u` with the given selection options.
+  [[nodiscard]] fit::PerfModel fit_unit(
+      UnitId u, const fit::SelectionOptions& options = {}) const;
+
+  /// Fits every unit; returns one PerfModel per unit (invalid models for
+  /// units with no samples).
+  [[nodiscard]] std::vector<fit::PerfModel> fit_all(
+      const fit::SelectionOptions& options = {}) const;
+
+  /// True when every unit's latest execution fit reaches the R^2 threshold.
+  [[nodiscard]] bool all_acceptable(
+      const fit::SelectionOptions& options = {}) const;
+
+  [[nodiscard]] double grains_to_fraction(std::size_t grains) const;
+
+ private:
+  std::vector<fit::SampleSet> exec_;
+  std::vector<fit::SampleSet> transfer_;
+  std::size_t total_grains_ = 1;
+};
+
+}  // namespace plbhec::rt

@@ -1,0 +1,8 @@
+#include "plbhec/rt/scheduler.hpp"
+
+namespace plbhec::rt {
+
+void Scheduler::on_barrier(double) {}
+void Scheduler::on_unit_failed(UnitId, std::size_t, double) {}
+
+}  // namespace plbhec::rt

@@ -1,0 +1,175 @@
+#include "plbhec/rt/thread_engine.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstring>
+#include <mutex>
+#include <thread>
+
+#include "plbhec/common/contracts.hpp"
+
+namespace plbhec::rt {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+/// Busy-stretches a measured duration to `factor` times its length.
+void stretch(Clock::time_point start, double measured_s, double factor) {
+  if (factor <= 1.0) return;
+  const double target = measured_s * factor;
+  while (std::chrono::duration<double>(Clock::now() - start).count() < target)
+    std::this_thread::yield();
+}
+
+}  // namespace
+
+ThreadEngine::ThreadEngine(ThreadEngineOptions options)
+    : options_(std::move(options)) {
+  PLBHEC_EXPECTS(!options_.slowdowns.empty());
+  for (double s : options_.slowdowns) PLBHEC_EXPECTS(s >= 1.0);
+  for (UnitId u = 0; u < options_.slowdowns.size(); ++u) {
+    UnitInfo info;
+    info.id = u;
+    info.name = "host.cpu" + std::to_string(u);
+    info.kind = ProcKind::kCpu;
+    info.machine = 0;
+    units_.push_back(std::move(info));
+  }
+}
+
+RunResult ThreadEngine::run(Workload& workload, Scheduler& scheduler) {
+  RunResult result;
+  const std::size_t n = units_.size();
+  const std::size_t total = workload.total_grains();
+  PLBHEC_EXPECTS(total > 0);
+  PLBHEC_EXPECTS(workload.supports_real_execution());
+
+  result.units = units_;
+  result.unit_stats.assign(n, {});
+  result.total_grains = total;
+
+  WorkInfo work;
+  work.name = workload.name();
+  work.total_grains = total;
+  work.bytes_per_grain = workload.bytes_per_grain();
+  work.initial_block = std::max<std::size_t>(1, total / 1024);
+  scheduler.start(units_, work);
+
+  // Shared state, guarded by `mutex`.
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::size_t next_grain = 0;
+  std::size_t completed = 0;
+  std::size_t idle_waiting = 0;
+  std::size_t stuck_barriers = 0;
+  bool assigned_since_barrier = true;
+  bool failed = false;
+  std::string error;
+  const Clock::time_point t0 = Clock::now();
+
+  auto worker_body = [&](UnitId unit) {
+    std::vector<unsigned char> staging;
+    std::unique_lock lock(mutex);
+    while (true) {
+      if (failed || completed >= total) break;
+
+      std::size_t grains = 0;
+      if (next_grain < total) {
+        grains = scheduler.next_block(unit, seconds_since(t0));
+        grains = std::min(grains, total - next_grain);
+      }
+
+      if (grains == 0) {
+        // Park until another completion or a barrier changes the state.
+        ++idle_waiting;
+        if (idle_waiting == n && next_grain < total && completed < total) {
+          // Everyone idle with work left: this is the scheduler barrier.
+          if (assigned_since_barrier) {
+            stuck_barriers = 0;
+          } else if (++stuck_barriers >= options_.max_stuck_barriers) {
+            failed = true;
+            error = "scheduler refused to assign work after barrier";
+            --idle_waiting;
+            cv.notify_all();
+            break;
+          }
+          assigned_since_barrier = false;
+          scheduler.on_barrier(seconds_since(t0));
+          --idle_waiting;
+          cv.notify_all();
+          continue;  // retry next_block immediately
+        }
+        cv.wait(lock);
+        --idle_waiting;
+        continue;
+      }
+
+      assigned_since_barrier = true;
+      const std::size_t begin = next_grain;
+      const std::size_t end = begin + grains;
+      next_grain = end;
+      const double issue_time = seconds_since(t0);
+      lock.unlock();
+
+      // --- Transfer emulation (real memcpy staging) ---
+      const auto bytes = static_cast<std::size_t>(
+          static_cast<double>(grains) * work.bytes_per_grain);
+      const Clock::time_point t_transfer = Clock::now();
+      if (options_.emulate_transfer && bytes > 0) {
+        staging.resize(bytes);
+        // Touch every page so the copy cost is real.
+        std::memset(staging.data(), 0x5a, staging.size());
+      }
+      const double transfer_s =
+          std::chrono::duration<double>(Clock::now() - t_transfer).count();
+
+      // --- Real kernel execution ---
+      const Clock::time_point t_exec = Clock::now();
+      workload.execute_cpu(begin, end);
+      double exec_s = std::chrono::duration<double>(Clock::now() - t_exec)
+                          .count();
+      stretch(t_exec, exec_s, options_.slowdowns[unit]);
+      exec_s = std::chrono::duration<double>(Clock::now() - t_exec).count();
+
+      lock.lock();
+      completed += grains;
+      UnitStats& stats = result.unit_stats[unit];
+      stats.transfer_seconds += transfer_s;
+      stats.exec_seconds += exec_s;
+      stats.grains += grains;
+      stats.tasks += 1;
+      result.trace.add({unit, SegmentKind::kTransfer, issue_time,
+                        issue_time + transfer_s, grains});
+      result.trace.add({unit, SegmentKind::kExec, issue_time + transfer_s,
+                        issue_time + transfer_s + exec_s, grains});
+
+      TaskObservation obs;
+      obs.unit = unit;
+      obs.grains = grains;
+      obs.transfer_seconds = transfer_s;
+      obs.exec_seconds = exec_s;
+      obs.start_time = issue_time;
+      obs.finish_time = seconds_since(t0);
+      scheduler.on_complete(obs);
+      cv.notify_all();
+    }
+    cv.notify_all();
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(n);
+  for (UnitId u = 0; u < n; ++u) threads.emplace_back(worker_body, u);
+  for (auto& t : threads) t.join();
+
+  result.makespan = seconds_since(t0);
+  result.ok = !failed;
+  result.error = error;
+  return result;
+}
+
+}  // namespace plbhec::rt

@@ -1,0 +1,44 @@
+#pragma once
+/// \file thread_engine.hpp
+/// Real-execution engine: each processing unit is a host thread running the
+/// workload's actual CPU kernel, timed with the wall clock. The identical
+/// Scheduler implementations run unmodified under this engine and the
+/// discrete-event SimEngine — the scheduler only ever sees (block size,
+/// transfer time, execution time) observations.
+///
+/// Heterogeneity on a homogeneous host is emulated with per-unit slowdown
+/// factors (a unit with slowdown 3 spins until the kernel time has been
+/// stretched 3x), which yields genuinely different performance curves for
+/// the balancer to learn.
+
+#include <vector>
+
+#include "plbhec/rt/engine.hpp"  // RunResult, UnitStats
+
+namespace plbhec::rt {
+
+struct ThreadEngineOptions {
+  /// Per-unit slowdown factors (>= 1.0). Size defines the unit count.
+  std::vector<double> slowdowns = {1.0, 2.0};
+  /// Emulate input staging with a real memcpy of the block's bytes.
+  bool emulate_transfer = true;
+  /// Abort when this many consecutive barriers make no progress.
+  std::size_t max_stuck_barriers = 3;
+};
+
+class ThreadEngine {
+ public:
+  explicit ThreadEngine(ThreadEngineOptions options = {});
+
+  /// Runs the workload with real threads; requires
+  /// workload.supports_real_execution().
+  [[nodiscard]] RunResult run(Workload& workload, Scheduler& scheduler);
+
+  [[nodiscard]] const std::vector<UnitInfo>& units() const { return units_; }
+
+ private:
+  ThreadEngineOptions options_;
+  std::vector<UnitInfo> units_;
+};
+
+}  // namespace plbhec::rt

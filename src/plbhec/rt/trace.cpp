@@ -1,0 +1,26 @@
+#include "plbhec/rt/trace.hpp"
+
+namespace plbhec::rt {
+
+double TraceLog::busy_seconds(UnitId unit) const {
+  double s = 0.0;
+  for (const auto& seg : segments_)
+    if (seg.unit == unit) s += seg.duration();
+  return s;
+}
+
+std::size_t TraceLog::grains_processed(UnitId unit) const {
+  std::size_t g = 0;
+  for (const auto& seg : segments_)
+    if (seg.unit == unit && seg.kind == SegmentKind::kExec) g += seg.grains;
+  return g;
+}
+
+std::size_t TraceLog::task_count(UnitId unit) const {
+  std::size_t n = 0;
+  for (const auto& seg : segments_)
+    if (seg.unit == unit && seg.kind == SegmentKind::kExec) ++n;
+  return n;
+}
+
+}  // namespace plbhec::rt

@@ -1,0 +1,43 @@
+#pragma once
+/// \file types.hpp
+/// Shared vocabulary of the task runtime: processing-unit descriptors and
+/// the observation records the engine hands to schedulers.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace plbhec::rt {
+
+using UnitId = std::size_t;
+
+enum class ProcKind { kCpu, kGpu };
+
+/// Scheduler-visible description of one processing unit.
+struct UnitInfo {
+  UnitId id = 0;
+  std::string name;            ///< e.g. "A.gpu0"
+  ProcKind kind = ProcKind::kCpu;
+  std::size_t machine = 0;     ///< machine index within the cluster
+};
+
+/// Scheduler-visible description of the workload being balanced.
+struct WorkInfo {
+  std::string name;
+  std::size_t total_grains = 0;   ///< number of indivisible block units
+  double bytes_per_grain = 0.0;   ///< input bytes shipped per grain
+  std::size_t initial_block = 1;  ///< the paper's initialBlockSize, in grains
+};
+
+/// Everything a scheduler learns when a task completes (§III-B: execution
+/// and transfer times are profiled separately).
+struct TaskObservation {
+  UnitId unit = 0;
+  std::size_t grains = 0;
+  double transfer_seconds = 0.0;
+  double exec_seconds = 0.0;
+  double start_time = 0.0;   ///< when the task was issued
+  double finish_time = 0.0;  ///< when the result was available
+};
+
+}  // namespace plbhec::rt

@@ -1,0 +1,11 @@
+#include "plbhec/rt/workload.hpp"
+
+#include "plbhec/common/contracts.hpp"
+
+namespace plbhec::rt {
+
+void Workload::execute_cpu(std::size_t, std::size_t) {
+  PLBHEC_ASSERT(!"execute_cpu not implemented for this workload");
+}
+
+}  // namespace plbhec::rt

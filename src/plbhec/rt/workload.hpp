@@ -1,0 +1,37 @@
+#pragma once
+/// \file workload.hpp
+/// Abstraction of a data-parallel application in the codelet style of
+/// StarPU: one logical kernel with per-architecture implementations. The
+/// simulated executor times blocks with the device cost models; the
+/// threaded executor runs the real CPU implementation.
+
+#include <cstddef>
+#include <string>
+
+#include "plbhec/sim/workload_profile.hpp"
+
+namespace plbhec::rt {
+
+class Workload {
+ public:
+  virtual ~Workload() = default;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Number of indivisible grains (matrix lines / genes / options).
+  [[nodiscard]] virtual std::size_t total_grains() const = 0;
+
+  /// Input bytes that must be shipped to a unit per grain.
+  [[nodiscard]] virtual double bytes_per_grain() const = 0;
+
+  /// Cost-model parameters for the simulated devices.
+  [[nodiscard]] virtual sim::WorkloadProfile profile() const = 0;
+
+  /// Real host-CPU implementation, processing grains [begin, end).
+  /// Workloads that only support simulation may leave this unimplemented.
+  virtual void execute_cpu(std::size_t begin, std::size_t end);
+
+  [[nodiscard]] virtual bool supports_real_execution() const { return false; }
+};
+
+}  // namespace plbhec::rt

@@ -1,0 +1,61 @@
+#include "plbhec/sim/cluster.hpp"
+
+#include <algorithm>
+
+#include "plbhec/common/contracts.hpp"
+
+namespace plbhec::sim {
+
+double SimUnit::speed_factor(double t) const {
+  double factor = 1.0;
+  for (const auto& e : speed_events) {
+    if (e.time_s <= t)
+      factor = e.factor;
+    else
+      break;
+  }
+  return factor;
+}
+
+std::optional<double> SimUnit::failure_time() const {
+  for (const auto& e : speed_events)
+    if (e.factor <= 0.0) return e.time_s;
+  return std::nullopt;
+}
+
+SimCluster::SimCluster(const std::vector<MachineConfig>& machines) {
+  for (std::size_t m = 0; m < machines.size(); ++m) {
+    for (const auto& u : machines[m].units) {
+      SimUnit su;
+      su.name = u.name;
+      su.machine_index = m;
+      su.device = u.device;
+      su.path = u.path;
+      units_.push_back(std::move(su));
+    }
+  }
+  PLBHEC_ENSURES(!units_.empty());
+}
+
+const SimUnit& SimCluster::unit(std::size_t i) const {
+  PLBHEC_EXPECTS(i < units_.size());
+  return units_[i];
+}
+
+SimUnit& SimCluster::unit(std::size_t i) {
+  PLBHEC_EXPECTS(i < units_.size());
+  return units_[i];
+}
+
+void SimCluster::add_speed_event(std::size_t i, double time_s, double factor) {
+  PLBHEC_EXPECTS(i < units_.size());
+  PLBHEC_EXPECTS(factor >= 0.0);
+  auto& events = units_[i].speed_events;
+  events.push_back({time_s, factor});
+  std::sort(events.begin(), events.end(),
+            [](const SpeedEvent& a, const SpeedEvent& b) {
+              return a.time_s < b.time_s;
+            });
+}
+
+}  // namespace plbhec::sim

@@ -1,0 +1,62 @@
+#pragma once
+/// \file cluster.hpp
+/// The simulated cluster: the flattened list of processing units across all
+/// machines, plus per-unit availability/QoS timelines for the paper's
+/// future-work scenarios (cloud QoS changes, machine failures).
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "plbhec/sim/machine.hpp"
+#include "plbhec/sim/noise.hpp"
+
+namespace plbhec::sim {
+
+/// A step change of a unit's effective speed at a given simulated time.
+/// factor 1.0 = nominal, 0.5 = half speed (QoS degradation), 0.0 = failed.
+struct SpeedEvent {
+  double time_s = 0.0;
+  double factor = 1.0;
+};
+
+/// Runtime state of one simulated processing unit.
+struct SimUnit {
+  std::string name;
+  std::size_t machine_index = 0;
+  std::shared_ptr<const DeviceModel> device;
+  LinkModel path;
+  std::vector<SpeedEvent> speed_events;  ///< sorted by time
+
+  /// Effective speed factor at simulated time `t` (last event <= t wins).
+  [[nodiscard]] double speed_factor(double t) const;
+  /// True when speed_factor(t) == 0 (unit failed / withdrawn).
+  [[nodiscard]] bool failed_at(double t) const {
+    return speed_factor(t) <= 0.0;
+  }
+  /// Time of the first event with factor <= 0, if any.
+  [[nodiscard]] std::optional<double> failure_time() const;
+};
+
+class SimCluster {
+ public:
+  explicit SimCluster(const std::vector<MachineConfig>& machines);
+
+  [[nodiscard]] std::size_t size() const { return units_.size(); }
+  [[nodiscard]] const SimUnit& unit(std::size_t i) const;
+  [[nodiscard]] SimUnit& unit(std::size_t i);
+  [[nodiscard]] const std::vector<SimUnit>& units() const { return units_; }
+
+  /// Registers a speed change (QoS event) for unit `i`.
+  void add_speed_event(std::size_t i, double time_s, double factor);
+  /// Registers a permanent failure of unit `i` at `time_s`.
+  void fail_unit(std::size_t i, double time_s) {
+    add_speed_event(i, time_s, 0.0);
+  }
+
+ private:
+  std::vector<SimUnit> units_;
+};
+
+}  // namespace plbhec::sim

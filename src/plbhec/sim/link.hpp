@@ -1,0 +1,43 @@
+#pragma once
+/// \file link.hpp
+/// Affine transfer-time model for a communication hop: latency plus bytes
+/// over bandwidth. The master-to-unit path of a processing unit composes a
+/// network hop with (for GPUs) a PCIe hop; the composition is again affine,
+/// which is exactly the paper's G_p(x) = a1 x + a2 assumption (Eq. 2).
+
+#include "plbhec/common/contracts.hpp"
+
+namespace plbhec::sim {
+
+struct LinkModel {
+  double latency_s = 0.0;
+  double bandwidth_bps = 1.0;  ///< bytes per second
+
+  [[nodiscard]] double transfer_seconds(double bytes) const {
+    PLBHEC_EXPECTS(bytes >= 0.0);
+    return latency_s + bytes / bandwidth_bps;
+  }
+
+  /// Serial composition of two hops (store-and-forward).
+  [[nodiscard]] LinkModel then(const LinkModel& next) const {
+    // Effective bandwidth of two serial hops is the harmonic composition.
+    const double inv_bw = 1.0 / bandwidth_bps + 1.0 / next.bandwidth_bps;
+    return LinkModel{latency_s + next.latency_s, 1.0 / inv_bw};
+  }
+};
+
+/// Common presets.
+[[nodiscard]] inline LinkModel gigabit_ethernet() {
+  return {50e-6, 118e6};  // ~50 us, ~118 MB/s effective
+}
+[[nodiscard]] inline LinkModel pcie2_x16() {
+  return {10e-6, 6.0e9};  // ~10 us, ~6 GB/s effective
+}
+[[nodiscard]] inline LinkModel pcie3_x16() {
+  return {8e-6, 12.0e9};
+}
+[[nodiscard]] inline LinkModel local_memory_bus() {
+  return {1e-6, 20.0e9};  // CPU PU: NUMA-ish staging copy
+}
+
+}  // namespace plbhec::sim

@@ -1,0 +1,50 @@
+#pragma once
+/// \file machine.hpp
+/// Machine configurations mirroring Table I of the paper. Each machine
+/// contributes one CPU processing unit (all cores together, as the paper
+/// creates one thread per virtual core and treats the CPU as one unit) and
+/// one or two GPU processing units (GTX 295 and GTX 680 boards expose two
+/// GPU processors).
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "plbhec/sim/device.hpp"
+#include "plbhec/sim/link.hpp"
+
+namespace plbhec::sim {
+
+/// One processing unit inside a machine: a device model plus the full
+/// master-to-device transfer path (network, and PCIe for GPUs).
+struct UnitConfig {
+  std::string name;  ///< e.g. "A.cpu", "B.gpu0"
+  std::shared_ptr<const DeviceModel> device;
+  LinkModel path;  ///< composed master -> host -> device link
+};
+
+struct MachineConfig {
+  std::string name;        ///< "A".."D"
+  std::string cpu_info;    ///< human-readable CPU line of Table I
+  std::string gpu_info;    ///< human-readable GPU line of Table I
+  std::vector<UnitConfig> units;
+};
+
+/// Table I machines. `dual_gpu_boards` controls whether the GTX 295 / GTX
+/// 680 boards contribute two GPU units (execution-time experiments) or one
+/// (block-distribution and idleness experiments, "one GPU per machine").
+[[nodiscard]] MachineConfig machine_a();
+[[nodiscard]] MachineConfig machine_b(bool dual_gpu_boards = false);
+[[nodiscard]] MachineConfig machine_c(bool dual_gpu_boards = false);
+[[nodiscard]] MachineConfig machine_d();
+
+/// The paper's scenarios: 1 machine = {A}, 2 = {A,B}, 3 = {A,B,C},
+/// 4 = {A,B,C,D}.
+[[nodiscard]] std::vector<MachineConfig> scenario(std::size_t machines,
+                                                  bool dual_gpu_boards = false);
+
+/// Renders Table I for the bench headers.
+[[nodiscard]] std::string table1_string(
+    const std::vector<MachineConfig>& machines);
+
+}  // namespace plbhec::sim

@@ -1,0 +1,40 @@
+#pragma once
+/// \file noise.hpp
+/// Measurement-noise model applied to simulated execution and transfer
+/// times: a multiplicative log-normal factor (system noise scales with task
+/// duration) plus a small additive OS jitter.
+
+#include <cmath>
+
+#include "plbhec/common/rng.hpp"
+
+namespace plbhec::sim {
+
+struct NoiseModel {
+  double exec_sigma = 0.02;      ///< log-normal sigma on execution times
+  double transfer_sigma = 0.03;  ///< log-normal sigma on transfer times
+  double jitter_s = 20e-6;       ///< mean of additive exponential jitter
+
+  [[nodiscard]] double perturb_exec(double seconds, Rng& rng) const {
+    return apply(seconds, exec_sigma, rng);
+  }
+  [[nodiscard]] double perturb_transfer(double seconds, Rng& rng) const {
+    return apply(seconds, transfer_sigma, rng);
+  }
+
+  /// Noise-free configuration (used by deterministic unit tests).
+  [[nodiscard]] static NoiseModel none() { return {0.0, 0.0, 0.0}; }
+
+ private:
+  [[nodiscard]] double apply(double seconds, double sigma, Rng& rng) const {
+    double s = seconds * rng.lognormal_factor(sigma);
+    if (jitter_s > 0.0) {
+      // Exponential jitter with mean jitter_s.
+      const double u = rng.uniform();
+      s += -jitter_s * std::log(1.0 - u);
+    }
+    return s;
+  }
+};
+
+}  // namespace plbhec::sim

@@ -1,0 +1,246 @@
+#include "plbhec/solver/block_selection.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <numeric>
+
+#include "plbhec/common/contracts.hpp"
+#include "plbhec/solver/equal_time.hpp"
+
+namespace plbhec::solver {
+namespace {
+
+/// NLP encoding of Eq. (3)-(5):
+///   variables  x_1..x_n (fractions),
+///   objective  E_1(x_1),
+///   c_0        sum_g x_g - 1 = 0,
+///   c_g        E_1(x_1) - E_{g+1}(x_{g+1}) = 0   for g = 1..n-1,
+///   bounds     x_min <= x_g <= 1.
+class EqualTimeNlp final : public NlpProblem {
+ public:
+  EqualTimeNlp(std::span<const fit::PerfModel> models, double x_min,
+               double target)
+      : models_(models.begin(), models.end()),
+        x_min_(x_min),
+        target_(target) {}
+
+  [[nodiscard]] std::size_t num_vars() const override {
+    return models_.size();
+  }
+  [[nodiscard]] std::size_t num_constraints() const override {
+    return models_.size();  // 1 simplex + (n-1) equal-time
+  }
+
+  [[nodiscard]] double objective(std::span<const double> x) const override {
+    return models_[0].total_time(x[0]);
+  }
+
+  void gradient(std::span<const double> x,
+                std::span<double> grad) const override {
+    std::fill(grad.begin(), grad.end(), 0.0);
+    grad[0] = models_[0].total_derivative(x[0]);
+  }
+
+  void constraints(std::span<const double> x,
+                   std::span<double> c) const override {
+    const std::size_t n = models_.size();
+    double sum = 0.0;
+    for (std::size_t g = 0; g < n; ++g) sum += x[g];
+    c[0] = sum - target_;
+    const double e1 = models_[0].total_time(x[0]);
+    for (std::size_t g = 1; g < n; ++g)
+      c[g] = e1 - models_[g].total_time(x[g]);
+  }
+
+  void jacobian(std::span<const double> x,
+                linalg::Matrix& jac) const override {
+    const std::size_t n = models_.size();
+    for (std::size_t r = 0; r < n; ++r)
+      for (std::size_t cidx = 0; cidx < n; ++cidx) jac(r, cidx) = 0.0;
+    for (std::size_t cidx = 0; cidx < n; ++cidx) jac(0, cidx) = 1.0;
+    const double de1 = models_[0].total_derivative(x[0]);
+    for (std::size_t g = 1; g < n; ++g) {
+      jac(g, 0) = de1;
+      jac(g, g) = -models_[g].total_derivative(x[g]);
+    }
+  }
+
+  void lagrangian_hessian(std::span<const double> x, double obj_factor,
+                          std::span<const double> lambda,
+                          linalg::Matrix& hess) const override {
+    const std::size_t n = models_.size();
+    for (std::size_t r = 0; r < n; ++r)
+      for (std::size_t cidx = 0; cidx < n; ++cidx) hess(r, cidx) = 0.0;
+    const double d2e1 = models_[0].total_second_derivative(x[0]);
+    double h00 = obj_factor * d2e1;
+    for (std::size_t g = 1; g < n; ++g) {
+      h00 += lambda[g] * d2e1;
+      hess(g, g) = -lambda[g] * models_[g].total_second_derivative(x[g]);
+    }
+    hess(0, 0) = h00;
+  }
+
+  void bounds(std::span<double> lower, std::span<double> upper) const override {
+    std::fill(lower.begin(), lower.end(), x_min_);
+    std::fill(upper.begin(), upper.end(), target_);
+  }
+
+ private:
+  std::vector<fit::PerfModel> models_;
+  double x_min_;
+  double target_;
+};
+
+double predicted_makespan(std::span<const fit::PerfModel> models,
+                          std::span<const double> fractions) {
+  double worst = 0.0;
+  for (std::size_t g = 0; g < models.size(); ++g)
+    worst = std::max(worst, models[g].total_time(fractions[g]));
+  return worst;
+}
+
+}  // namespace
+
+BlockSelection select_block_sizes(std::span<const fit::PerfModel> models,
+                                  const BlockSelectionOptions& opt) {
+  BlockSelection out;
+  const auto t_begin = std::chrono::steady_clock::now();
+  const std::size_t n = models.size();
+  const double target = opt.total_fraction;
+  PLBHEC_EXPECTS(target > 0.0 && target <= 1.0);
+  if (n == 0) return out;
+  for (const auto& m : models) PLBHEC_EXPECTS(m.valid());
+
+  if (n == 1) {
+    out.ok = true;
+    out.fractions = {target};
+    out.predicted_time = models[0].total_time(target);
+    out.solve_seconds = 0.0;
+    return out;
+  }
+
+  // Units whose fitted curve is (near-)flat carry no size information —
+  // typically an intercept-only fallback from a single profiling sample.
+  // Solving the equal-time system with a flat curve hands that unit an
+  // arbitrary (often huge) share, so park such units at the minimum
+  // fraction and solve over the informative ones.
+  std::vector<std::size_t> informative;
+  std::vector<fit::PerfModel> informative_models;
+  for (std::size_t g = 0; g < n; ++g) {
+    const double span =
+        models[g].total_time(target) - models[g].total_time(opt.x_min);
+    const double scale =
+        std::max(std::fabs(models[g].total_time(target)), 1e-12);
+    if (span > 1e-3 * scale) {
+      informative.push_back(g);
+      informative_models.push_back(models[g]);
+    }
+  }
+  if (informative.size() < n) {
+    if (informative.empty()) {
+      // Nothing informative at all: uniform split.
+      out.ok = true;
+      out.used_fallback = true;
+      out.fractions.assign(n, target / static_cast<double>(n));
+      out.predicted_time = predicted_makespan(models, out.fractions);
+      return out;
+    }
+    BlockSelectionOptions sub_opt = opt;
+    const BlockSelection sub =
+        select_block_sizes(informative_models, sub_opt);
+    if (!sub.ok) return out;
+    out = sub;
+    const double flat_share =
+        opt.x_min * static_cast<double>(n - informative.size());
+    std::vector<double> full(n, opt.x_min);
+    for (std::size_t i = 0; i < informative.size(); ++i)
+      full[informative[i]] =
+          sub.fractions[i] * (target - flat_share) / target;
+    out.fractions = std::move(full);
+    out.predicted_time = predicted_makespan(models, out.fractions);
+    return out;
+  }
+
+  // Warm start from the analytic equal-time split; if that degenerates,
+  // start from the uniform split.
+  EqualTimeOptions eq_opt;
+  eq_opt.x_min = opt.x_min;
+  eq_opt.target = target;
+  const EqualTimeResult warm = solve_equal_time(models, eq_opt);
+  std::vector<double> x0(n, target / static_cast<double>(n));
+  if (warm.ok) x0 = warm.fractions;
+
+  EqualTimeNlp nlp(models, opt.x_min, target);
+  out.ip = solve_interior_point(nlp, x0, opt.ip);
+
+  const bool ip_usable =
+      (out.ip.status == IpStatus::kSolved ||
+       out.ip.status == IpStatus::kMaxIterations) &&
+      out.ip.constraint_violation < 1e-5;
+
+  if (ip_usable) {
+    out.fractions = out.ip.x;
+    // Numerical cleanup: clamp into bounds and renormalize exactly.
+    double sum = 0.0;
+    for (double& f : out.fractions) {
+      f = std::clamp(f, opt.x_min, target);
+      sum += f;
+    }
+    for (double& f : out.fractions) f *= target / sum;
+    out.ok = true;
+    out.used_fallback = false;
+  } else if (opt.allow_fallback && warm.ok) {
+    out.fractions = warm.fractions;
+    out.ok = true;
+    out.used_fallback = true;
+  } else {
+    out.ok = false;
+  }
+
+  if (out.ok) out.predicted_time = predicted_makespan(models, out.fractions);
+  out.solve_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t_begin)
+          .count();
+  return out;
+}
+
+std::vector<std::size_t> round_to_grains(std::span<const double> fractions,
+                                         std::size_t total_grains) {
+  const std::size_t n = fractions.size();
+  std::vector<std::size_t> grains(n, 0);
+  if (n == 0 || total_grains == 0) return grains;
+
+  double sum = 0.0;
+  for (double f : fractions) {
+    PLBHEC_EXPECTS(f >= 0.0);
+    sum += f;
+  }
+  PLBHEC_EXPECTS(sum > 0.0);
+
+  std::vector<double> remainder(n);
+  std::size_t assigned = 0;
+  for (std::size_t g = 0; g < n; ++g) {
+    const double ideal =
+        fractions[g] / sum * static_cast<double>(total_grains);
+    grains[g] = static_cast<std::size_t>(ideal);
+    remainder[g] = ideal - static_cast<double>(grains[g]);
+    assigned += grains[g];
+  }
+
+  // Distribute the leftover grains to the largest remainders.
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return remainder[a] > remainder[b];
+  });
+  std::size_t leftover = total_grains - assigned;
+  for (std::size_t i = 0; leftover > 0; i = (i + 1) % n, --leftover)
+    ++grains[order[i]];
+
+  PLBHEC_ENSURES(std::accumulate(grains.begin(), grains.end(),
+                                 std::size_t{0}) == total_grains);
+  return grains;
+}
+
+}  // namespace plbhec::solver

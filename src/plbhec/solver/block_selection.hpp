@@ -1,0 +1,50 @@
+#pragma once
+/// \file block_selection.hpp
+/// The block-size selection phase of PLB-HeC (§III-C). Builds the nonlinear
+/// system of Eq. (5), subject to the simplex restriction Eq. (3) and the
+/// equal-time restriction Eq. (4), and solves it with the interior-point
+/// line-search filter method. The analytic equal-time solver provides the
+/// starting point and a fallback when the NLP solve does not converge.
+
+#include <span>
+#include <vector>
+
+#include "plbhec/fit/model.hpp"
+#include "plbhec/solver/interior_point.hpp"
+
+namespace plbhec::solver {
+
+struct BlockSelectionOptions {
+  double x_min = 1e-6;   ///< lower bound on each fraction (keeps ln-terms finite)
+  /// The fractions sum to this input share (1 = the whole input). PLB-HeC
+  /// solves per execution window: equal E_g(x_g) at window-level shares is
+  /// what actually equalizes the issued blocks when the curves are
+  /// nonlinear, and it keeps x_g within the block sizes the modeling phase
+  /// actually probed.
+  double total_fraction = 1.0;
+  IpOptions ip;          ///< interior-point configuration
+  bool allow_fallback = true;  ///< fall back to the analytic solver on failure
+};
+
+struct BlockSelection {
+  bool ok = false;
+  std::vector<double> fractions;  ///< x_g, sums to 1
+  double predicted_time = 0.0;    ///< max_g E_g(x_g) under the models
+  bool used_fallback = false;     ///< analytic path was used
+  IpResult ip;                    ///< interior-point diagnostics
+  double solve_seconds = 0.0;     ///< wall-clock time of the selection
+};
+
+/// Computes the fraction of the remaining input assigned to each processing
+/// unit. `models` must all be valid (fitted).
+[[nodiscard]] BlockSelection select_block_sizes(
+    std::span<const fit::PerfModel> models,
+    const BlockSelectionOptions& options = {});
+
+/// Rounds fractional shares to whole application grains (matrix lines,
+/// genes, options) with the largest-remainder method; the result sums to
+/// `total_grains` exactly.
+[[nodiscard]] std::vector<std::size_t> round_to_grains(
+    std::span<const double> fractions, std::size_t total_grains);
+
+}  // namespace plbhec::solver

@@ -1,0 +1,127 @@
+#include "plbhec/solver/equal_time.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "plbhec/common/contracts.hpp"
+
+namespace plbhec::solver {
+namespace {
+
+/// Monotone non-decreasing envelope of E(x) on [x_min, 1].
+class MonotoneEnvelope {
+ public:
+  MonotoneEnvelope(const fit::PerfModel& model, double x_min, double x_max,
+                   std::size_t grid) {
+    PLBHEC_EXPECTS(grid >= 2);
+    PLBHEC_EXPECTS(x_max > x_min);
+    xs_.resize(grid);
+    ts_.resize(grid);
+    for (std::size_t i = 0; i < grid; ++i) {
+      const double f = static_cast<double>(i) / static_cast<double>(grid - 1);
+      xs_[i] = x_min + f * (x_max - x_min);
+      double t = model.total_time(xs_[i]);
+      if (!std::isfinite(t)) t = i ? ts_[i - 1] : 0.0;
+      ts_[i] = std::max(t, i ? ts_[i - 1] : t);
+    }
+  }
+
+  [[nodiscard]] double min_time() const { return ts_.front(); }
+  [[nodiscard]] double max_time() const { return ts_.back(); }
+
+  /// Largest x with envelope(x) <= T (clamped to [x_min, 1]).
+  [[nodiscard]] double inverse(double t) const {
+    if (t <= ts_.front()) return xs_.front();
+    if (t >= ts_.back()) return xs_.back();
+    auto it = std::upper_bound(ts_.begin(), ts_.end(), t);
+    const std::size_t hi = static_cast<std::size_t>(it - ts_.begin());
+    const std::size_t lo = hi - 1;
+    const double span_t = ts_[hi] - ts_[lo];
+    if (span_t <= 0.0) return xs_[hi];
+    const double f = (t - ts_[lo]) / span_t;
+    return xs_[lo] + f * (xs_[hi] - xs_[lo]);
+  }
+
+ private:
+  std::vector<double> xs_;
+  std::vector<double> ts_;
+};
+
+}  // namespace
+
+EqualTimeResult solve_equal_time(std::span<const fit::PerfModel> models,
+                                 const EqualTimeOptions& opt) {
+  EqualTimeResult result;
+  const std::size_t n = models.size();
+  const double target = opt.target;
+  PLBHEC_EXPECTS(target > 0.0 && target <= 1.0);
+  if (n == 0) return result;
+  if (n == 1) {
+    result.ok = true;
+    result.fractions = {target};
+    result.common_time = models[0].total_time(target);
+    return result;
+  }
+  PLBHEC_EXPECTS(opt.x_min > 0.0 &&
+                 opt.x_min * static_cast<double>(n) < target);
+
+  std::vector<MonotoneEnvelope> envelopes;
+  envelopes.reserve(n);
+  for (const auto& m : models) {
+    if (!m.valid()) return result;
+    envelopes.emplace_back(m, opt.x_min, target, opt.grid);
+  }
+
+  auto total_fraction = [&](double t) {
+    double s = 0.0;
+    for (const auto& e : envelopes) s += e.inverse(t);
+    return s;
+  };
+
+  double t_lo = envelopes[0].min_time();
+  double t_hi = envelopes[0].max_time();
+  for (const auto& e : envelopes) {
+    t_lo = std::min(t_lo, e.min_time());
+    t_hi = std::max(t_hi, e.max_time());
+  }
+  // At t_hi every unit takes the whole window, so the sum reaches
+  // n * target >= target; at t_lo it is about n * x_min < target. Bisect.
+  if (total_fraction(t_hi) < target) {
+    // Degenerate flat curves; fall back to proportional-to-speed split.
+    result.fractions.assign(n, 0.0);
+    double wsum = 0.0;
+    for (std::size_t g = 0; g < n; ++g) {
+      const double t = std::max(
+          models[g].total_time(target / static_cast<double>(n)), 1e-12);
+      result.fractions[g] = 1.0 / t;
+      wsum += result.fractions[g];
+    }
+    for (double& f : result.fractions) f *= target / wsum;
+    result.common_time = t_hi;
+    result.ok = true;
+    return result;
+  }
+
+  for (std::size_t it = 0; it < opt.max_bisect; ++it) {
+    const double mid = 0.5 * (t_lo + t_hi);
+    if (total_fraction(mid) >= target)
+      t_hi = mid;
+    else
+      t_lo = mid;
+    if (std::fabs(total_fraction(t_hi) - target) <= opt.tolerance) break;
+  }
+
+  result.common_time = t_hi;
+  result.fractions.resize(n);
+  double sum = 0.0;
+  for (std::size_t g = 0; g < n; ++g) {
+    result.fractions[g] = envelopes[g].inverse(t_hi);
+    sum += result.fractions[g];
+  }
+  PLBHEC_ASSERT(sum > 0.0);
+  for (double& f : result.fractions) f *= target / sum;  // exact projection
+  result.ok = true;
+  return result;
+}
+
+}  // namespace plbhec::solver

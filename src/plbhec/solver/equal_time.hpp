@@ -1,0 +1,42 @@
+#pragma once
+/// \file equal_time.hpp
+/// Analytic solver for the equal-time block distribution: find the common
+/// finish time T and fractions x_g with E_g(x_g) = T and sum x_g = 1.
+///
+/// Because each fitted E_g may be locally non-monotone (small negative
+/// coefficients on some basis terms), the solver works on the monotone
+/// non-decreasing envelope of each curve sampled on a grid, inverts the
+/// envelopes, and bisects on T (sum_g E_g^{-1}(T) is non-decreasing in T).
+///
+/// This serves as (a) the feasibility-restoration / fallback path of the
+/// interior-point block selection and (b) an independent cross-check in the
+/// test suite: on well-behaved curves both must agree.
+
+#include <span>
+#include <vector>
+
+#include "plbhec/fit/model.hpp"
+
+namespace plbhec::solver {
+
+struct EqualTimeOptions {
+  double x_min = 1e-6;       ///< smallest admissible fraction per unit
+  /// The fractions must sum to this (1 = the whole input; PLB-HeC solves
+  /// per execution window, e.g. 0.25). Envelopes are sampled on
+  /// [x_min, target], which keeps the inversion inside the probed range.
+  double target = 1.0;
+  std::size_t grid = 512;    ///< envelope sampling resolution
+  std::size_t max_bisect = 200;
+  double tolerance = 1e-12;  ///< on |sum x - target|
+};
+
+struct EqualTimeResult {
+  bool ok = false;
+  std::vector<double> fractions;  ///< sums to 1 when ok
+  double common_time = 0.0;       ///< the equalized E value T
+};
+
+[[nodiscard]] EqualTimeResult solve_equal_time(
+    std::span<const fit::PerfModel> models, const EqualTimeOptions& options = {});
+
+}  // namespace plbhec::solver

@@ -1,0 +1,48 @@
+#pragma once
+/// \file nlp.hpp
+/// Generic smooth nonlinear program with equality constraints and simple
+/// bounds:
+///     min f(x)   s.t.  c(x) = 0,  l <= x <= u.
+/// This is the problem class the interior-point solver consumes; the
+/// PLB-HeC block-size selection (Eq. 3-5 of the paper) is one instance.
+
+#include <span>
+
+#include "plbhec/linalg/matrix.hpp"
+
+namespace plbhec::solver {
+
+class NlpProblem {
+ public:
+  virtual ~NlpProblem() = default;
+
+  [[nodiscard]] virtual std::size_t num_vars() const = 0;
+  [[nodiscard]] virtual std::size_t num_constraints() const = 0;
+
+  [[nodiscard]] virtual double objective(std::span<const double> x) const = 0;
+  virtual void gradient(std::span<const double> x,
+                        std::span<double> grad) const = 0;
+
+  /// Evaluates the equality constraints c(x) (size num_constraints()).
+  virtual void constraints(std::span<const double> x,
+                           std::span<double> c) const = 0;
+  /// Jacobian of c, shape num_constraints() x num_vars().
+  virtual void jacobian(std::span<const double> x,
+                        linalg::Matrix& jac) const = 0;
+
+  /// Hessian of the Lagrangian obj_factor * f + lambda^T c, shape n x n.
+  /// Implementations must fill the full symmetric matrix.
+  virtual void lagrangian_hessian(std::span<const double> x,
+                                  double obj_factor,
+                                  std::span<const double> lambda,
+                                  linalg::Matrix& hess) const = 0;
+
+  /// Variable bounds. Infinite bounds may use +-1e20.
+  virtual void bounds(std::span<double> lower,
+                      std::span<double> upper) const = 0;
+};
+
+/// Bound value treated as infinity by the solver.
+inline constexpr double kInfinity = 1e20;
+
+}  // namespace plbhec::solver

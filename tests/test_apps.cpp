@@ -1,0 +1,247 @@
+// Tests for the three paper applications and the synthetic workload:
+// Black-Scholes closed-form values, put-call parity, Monte Carlo
+// convergence to the closed form; blocked-GEMM matmul against a naive
+// reference; GRN conditional-entropy properties and kernel results;
+// cost-profile sanity for the simulated devices.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "plbhec/apps/blackscholes.hpp"
+#include "plbhec/apps/grn.hpp"
+#include "plbhec/apps/matmul.hpp"
+#include "plbhec/apps/synthetic.hpp"
+#include "plbhec/linalg/matrix.hpp"
+
+namespace plbhec::apps {
+namespace {
+
+TEST(BlackScholes, KnownReferenceValue) {
+  // Classic textbook case: S=100, K=100, r=5%, sigma=20%, T=1.
+  OptionQuote q;
+  const OptionPrice p = black_scholes(q);
+  EXPECT_NEAR(p.call, 10.4506, 1e-3);
+  EXPECT_NEAR(p.put, 5.5735, 1e-3);
+}
+
+TEST(BlackScholes, DeepInTheMoneyCall) {
+  OptionQuote q;
+  q.spot = 200.0;
+  q.strike = 100.0;
+  const OptionPrice p = black_scholes(q);
+  // Lower bound: S - K e^{-rT}.
+  EXPECT_GT(p.call, 200.0 - 100.0 * std::exp(-0.05));
+  EXPECT_LT(p.put, 0.01);
+}
+
+TEST(BlackScholes, PutCallParityHoldsAcrossPortfolio) {
+  BlackScholesWorkload w(500);
+  w.execute_cpu(0, 500);
+  for (std::size_t i = 0; i < 500; ++i) {
+    const auto& q = w.quotes()[i];
+    const auto& p = w.prices()[i];
+    const double lhs = p.call - p.put;
+    const double rhs =
+        q.spot - q.strike * std::exp(-q.rate * q.expiry_years);
+    EXPECT_NEAR(lhs, rhs, 1e-9 * std::max(1.0, std::fabs(rhs))) << i;
+  }
+}
+
+TEST(BlackScholes, MonotoneInSpot) {
+  OptionQuote lo, hi;
+  lo.spot = 90.0;
+  hi.spot = 110.0;
+  EXPECT_LT(black_scholes(lo).call, black_scholes(hi).call);
+  EXPECT_GT(black_scholes(lo).put, black_scholes(hi).put);
+}
+
+TEST(BlackScholes, VolatilityIncreasesBothLegs) {
+  OptionQuote lo, hi;
+  lo.volatility = 0.1;
+  hi.volatility = 0.5;
+  EXPECT_LT(black_scholes(lo).call, black_scholes(hi).call);
+  EXPECT_LT(black_scholes(lo).put, black_scholes(hi).put);
+}
+
+TEST(BlackScholes, NormalCdfSymmetry) {
+  EXPECT_NEAR(normal_cdf(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(normal_cdf(1.0) + normal_cdf(-1.0), 1.0, 1e-12);
+  EXPECT_NEAR(normal_cdf(1.96), 0.975, 1e-3);
+}
+
+TEST(BlackScholes, MonteCarloConvergesToClosedForm) {
+  BlackScholesWorkload::Config cfg;
+  cfg.options = 1;
+  cfg.mc_paths = 20000;
+  cfg.mc_steps = 16;
+  BlackScholesWorkload w(cfg);
+  OptionQuote q;  // textbook case
+  const OptionPrice exact = black_scholes(q);
+  const OptionPrice mc = w.monte_carlo_price(q, 42);
+  EXPECT_NEAR(mc.call, exact.call, 0.05 * exact.call);
+  EXPECT_NEAR(mc.put, exact.put, 0.08 * exact.put);
+}
+
+TEST(BlackScholes, McPutCallParityInExpectation) {
+  BlackScholesWorkload::Config cfg;
+  cfg.options = 1;
+  cfg.mc_paths = 20000;
+  cfg.mc_steps = 8;
+  BlackScholesWorkload w(cfg);
+  OptionQuote q;
+  const OptionPrice mc = w.monte_carlo_price(q, 7);
+  const double rhs = q.spot - q.strike * std::exp(-q.rate * q.expiry_years);
+  EXPECT_NEAR(mc.call - mc.put, rhs, 0.05 * std::fabs(rhs) + 0.2);
+}
+
+TEST(BlackScholes, ExecuteRangeOnlyTouchesRange) {
+  BlackScholesWorkload w(100);
+  w.execute_cpu(10, 20);
+  EXPECT_EQ(w.prices()[5].call, 0.0);
+  EXPECT_NE(w.prices()[15].call, 0.0);
+  EXPECT_EQ(w.prices()[50].call, 0.0);
+}
+
+TEST(BlackScholes, ProfileScalesWithMcConfig) {
+  BlackScholesWorkload closed(1000);
+  BlackScholesWorkload mc(BlackScholesWorkload::paper_instance(1000));
+  EXPECT_GT(mc.profile().flops_per_grain,
+            50.0 * closed.profile().flops_per_grain);
+  EXPECT_EQ(closed.total_grains(), 1000u);
+}
+
+TEST(MatMul, RealKernelMatchesNaiveReference) {
+  const std::size_t n = 48;
+  MatMulWorkload w(n, /*materialize=*/true);
+  w.execute_cpu(0, n);
+  // Naive reference.
+  for (std::size_t i = 0; i < n; i += 7) {
+    for (std::size_t j = 0; j < n; j += 5) {
+      double acc = 0.0;
+      for (std::size_t k = 0; k < n; ++k)
+        acc += w.a()[i * n + k] * w.b()[k * n + j];
+      EXPECT_NEAR(w.result()[i * n + j], acc, 1e-10) << i << "," << j;
+    }
+  }
+}
+
+TEST(MatMul, PartialRangesCompose) {
+  const std::size_t n = 32;
+  MatMulWorkload whole(n, true);
+  MatMulWorkload split(n, true);
+  whole.execute_cpu(0, n);
+  split.execute_cpu(0, n / 2);
+  split.execute_cpu(n / 2, n);
+  for (std::size_t i = 0; i < n * n; ++i)
+    EXPECT_DOUBLE_EQ(whole.result()[i], split.result()[i]);
+}
+
+TEST(MatMul, ProfileComplexityIsQuadraticPerGrain) {
+  MatMulWorkload small(1024);
+  MatMulWorkload big(2048);
+  EXPECT_NEAR(big.profile().flops_per_grain /
+                  small.profile().flops_per_grain,
+              4.0, 1e-9);
+  EXPECT_EQ(big.total_grains(), 2048u);
+  EXPECT_DOUBLE_EQ(big.bytes_per_grain(), 2048.0 * sizeof(double));
+}
+
+TEST(MatMul, SimulationOnlyWithoutMaterialization) {
+  MatMulWorkload w(65536);
+  EXPECT_FALSE(w.supports_real_execution());
+  EXPECT_EQ(w.total_grains(), 65536u);
+}
+
+TEST(Grn, ConditionalEntropyBounds) {
+  GrnWorkload w({.genes = 50, .samples = 128, .pair_window = 8,
+                 .materialize = true});
+  for (std::size_t a = 0; a < 10; ++a)
+    for (std::size_t b = 10; b < 20; ++b) {
+      const double h = w.conditional_entropy(a, b);
+      EXPECT_GE(h, 0.0);
+      EXPECT_LE(h, 1.0 + 1e-12);  // binary target
+    }
+}
+
+TEST(Grn, PlantedPairHasLowestEntropy) {
+  // The target is (gene0 XOR gene1) with 10% noise, so H(target|g0,g1)
+  // must be far below the entropy of random pairs.
+  GrnWorkload w({.genes = 200, .samples = 512, .pair_window = 4,
+                 .materialize = true});
+  const double planted = w.conditional_entropy(0, 1);
+  double random_sum = 0.0;
+  int count = 0;
+  for (std::size_t a = 10; a < 20; ++a)
+    for (std::size_t b = 30; b < 35; ++b) {
+      random_sum += w.conditional_entropy(a, b);
+      ++count;
+    }
+  EXPECT_LT(planted, 0.7 * random_sum / count);
+}
+
+TEST(Grn, EntropySymmetricInPredictors) {
+  GrnWorkload w({.genes = 30, .samples = 256, .pair_window = 4,
+                 .materialize = true});
+  EXPECT_DOUBLE_EQ(w.conditional_entropy(3, 7), w.conditional_entropy(7, 3));
+}
+
+TEST(Grn, KernelFindsBestPartnerInWindow) {
+  GrnWorkload w({.genes = 64, .samples = 256, .pair_window = 16,
+                 .materialize = true});
+  w.execute_cpu(0, 64);
+  for (std::size_t g = 0; g < 64; ++g) {
+    const std::size_t best = w.best_partner()[g];
+    const double best_score = w.scores()[g];
+    // Verify the reported partner really is the argmin over the window.
+    for (std::size_t k = 1; k <= 16; ++k) {
+      const std::size_t partner = (g + k) % 64;
+      if (partner == g) continue;
+      EXPECT_GE(w.conditional_entropy(g, partner),
+                best_score - 1e-6)
+          << "gene " << g;
+    }
+    EXPECT_NEAR(w.conditional_entropy(g, best), best_score, 1e-6);
+  }
+}
+
+TEST(Grn, PaperInstanceScales) {
+  const auto cfg = GrnWorkload::paper_instance(60'000);
+  EXPECT_EQ(cfg.genes, 60'000u);
+  EXPECT_EQ(cfg.pair_window, 30'000u);
+  EXPECT_FALSE(cfg.materialize);
+  GrnWorkload w(cfg);
+  EXPECT_GT(w.profile().flops_per_grain, 1e6);
+}
+
+TEST(Grn, ProfileScalesWithWindow) {
+  GrnWorkload narrow({.genes = 100, .samples = 64, .pair_window = 10});
+  GrnWorkload wide({.genes = 100, .samples = 64, .pair_window = 100});
+  EXPECT_NEAR(wide.profile().flops_per_grain /
+                  narrow.profile().flops_per_grain,
+              10.0, 0.2);
+}
+
+TEST(Synthetic, ChecksumCountsGrains) {
+  SyntheticWorkload::Config cfg;
+  cfg.grains = 100;
+  cfg.spin_iters_per_grain = 10;
+  SyntheticWorkload w(cfg);
+  w.execute_cpu(0, 50);
+  w.execute_cpu(50, 100);
+  EXPECT_EQ(w.executed_grains(), 100u);
+  EXPECT_GT(w.checksum(), 0.0);
+}
+
+TEST(Synthetic, ProfilePassthrough) {
+  SyntheticWorkload::Config cfg;
+  cfg.flops_per_grain = 123.0;
+  cfg.gpu_efficiency = 0.77;
+  SyntheticWorkload w(cfg);
+  EXPECT_DOUBLE_EQ(w.profile().flops_per_grain, 123.0);
+  EXPECT_DOUBLE_EQ(w.profile().gpu_efficiency, 0.77);
+  EXPECT_TRUE(w.supports_real_execution());
+}
+
+}  // namespace
+}  // namespace plbhec::apps

@@ -1,0 +1,252 @@
+// Tests for the common utilities: RNG determinism and distribution
+// moments, Welford statistics, percentiles, R^2, tables, CSV and CLI.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <set>
+
+#include "plbhec/common/cli.hpp"
+#include "plbhec/common/csv.hpp"
+#include "plbhec/common/rng.hpp"
+#include "plbhec/common/stats.hpp"
+#include "plbhec/common/table.hpp"
+
+namespace plbhec {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a.next() == b.next()) ++equal;
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, ForkIsIndependentOfParentAdvance) {
+  Rng parent(7);
+  Rng child1 = parent.fork(42);
+  const std::uint64_t first = child1.next();
+  parent.next();  // advancing the parent must not change the fork
+  Rng child2 = Rng(7).fork(42);
+  EXPECT_EQ(child2.next(), first);
+}
+
+TEST(Rng, ForksWithDifferentIdsDiffer) {
+  Rng parent(7);
+  auto a = parent.fork(1);
+  auto b = parent.fork(2);
+  EXPECT_NE(a.next(), b.next());
+}
+
+TEST(Rng, UniformInRange) {
+  Rng rng(5);
+  for (int i = 0; i < 10'000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformMeanNearHalf) {
+  Rng rng(6);
+  RunningStats s;
+  for (int i = 0; i < 100'000; ++i) s.add(rng.uniform());
+  EXPECT_NEAR(s.mean(), 0.5, 0.01);
+  EXPECT_NEAR(s.variance(), 1.0 / 12.0, 0.005);
+}
+
+TEST(Rng, UniformIntCoversRangeInclusive) {
+  Rng rng(8);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniform_int(3, 7);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 7);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(9);
+  RunningStats s;
+  for (int i = 0; i < 200'000; ++i) s.add(rng.normal());
+  EXPECT_NEAR(s.mean(), 0.0, 0.01);
+  EXPECT_NEAR(s.stddev(), 1.0, 0.01);
+}
+
+TEST(Rng, NormalWithParameters) {
+  Rng rng(10);
+  RunningStats s;
+  for (int i = 0; i < 100'000; ++i) s.add(rng.normal(5.0, 2.0));
+  EXPECT_NEAR(s.mean(), 5.0, 0.05);
+  EXPECT_NEAR(s.stddev(), 2.0, 0.05);
+}
+
+TEST(Rng, LognormalFactorMedianOne) {
+  Rng rng(11);
+  std::vector<double> xs;
+  for (int i = 0; i < 50'001; ++i) xs.push_back(rng.lognormal_factor(0.3));
+  EXPECT_NEAR(percentile(xs, 0.5), 1.0, 0.02);
+}
+
+TEST(Rng, LognormalZeroSigmaIsOne) {
+  Rng rng(12);
+  EXPECT_EQ(rng.lognormal_factor(0.0), 1.0);
+}
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, KnownValues) {
+  RunningStats s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStats, MergeMatchesSequential) {
+  RunningStats all, a, b;
+  Rng rng(13);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.normal();
+    all.add(v);
+    (i % 2 ? a : b).add(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-10);
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+  RunningStats a, b;
+  a.add(3.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 1u);
+  b.merge(a);
+  EXPECT_EQ(b.count(), 1u);
+  EXPECT_EQ(b.mean(), 3.0);
+}
+
+TEST(Percentile, Interpolates) {
+  std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.5), 2.5);
+}
+
+TEST(Percentile, EmptyIsZero) {
+  EXPECT_EQ(percentile({}, 0.5), 0.0);
+}
+
+TEST(Summary, Basic) {
+  std::vector<double> xs{1.0, 2.0, 3.0};
+  const Summary s = summarize(xs);
+  EXPECT_EQ(s.count, 3u);
+  EXPECT_DOUBLE_EQ(s.mean, 2.0);
+  EXPECT_DOUBLE_EQ(s.p50, 2.0);
+  EXPECT_EQ(s.min, 1.0);
+  EXPECT_EQ(s.max, 3.0);
+}
+
+TEST(RSquared, PerfectFitIsOne) {
+  std::vector<double> obs{1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(r_squared(obs, obs), 1.0);
+}
+
+TEST(RSquared, MeanPredictorIsZero) {
+  std::vector<double> obs{1.0, 2.0, 3.0};
+  std::vector<double> pred{2.0, 2.0, 2.0};
+  EXPECT_DOUBLE_EQ(r_squared(obs, pred), 0.0);
+}
+
+TEST(RSquared, ConstantObservations) {
+  std::vector<double> obs{2.0, 2.0};
+  std::vector<double> exact{2.0, 2.0};
+  std::vector<double> off{2.0, 3.0};
+  EXPECT_EQ(r_squared(obs, exact), 1.0);
+  EXPECT_EQ(r_squared(obs, off), 0.0);
+}
+
+TEST(Table, RendersAllCells) {
+  Table t({"a", "bb"});
+  t.row().add("x").add(1.5, 1);
+  t.row().add("long-cell").add(std::size_t{42});
+  const std::string s = t.render();
+  EXPECT_NE(s.find("long-cell"), std::string::npos);
+  EXPECT_NE(s.find("1.5"), std::string::npos);
+  EXPECT_NE(s.find("42"), std::string::npos);
+  EXPECT_NE(s.find("bb"), std::string::npos);
+}
+
+TEST(Table, FormatDouble) {
+  EXPECT_EQ(format_double(1.23456, 2), "1.23");
+  EXPECT_EQ(format_double(-0.5, 1), "-0.5");
+}
+
+TEST(Csv, WritesQuotedCells) {
+  const std::string path = "/tmp/plbhec_test_csv.csv";
+  {
+    CsvWriter csv(path);
+    csv.header({"a", "b"});
+    csv.row({"x,y", "plain"});
+    csv.row_values({1.5, 2.0});
+  }
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "a,b");
+  std::getline(in, line);
+  EXPECT_EQ(line, "\"x,y\",plain");
+  std::getline(in, line);
+  EXPECT_EQ(line, "1.5,2");
+  std::remove(path.c_str());
+}
+
+TEST(Csv, ThrowsOnBadPath) {
+  EXPECT_THROW(CsvWriter("/nonexistent-dir/x.csv"), std::runtime_error);
+}
+
+TEST(Cli, ParsesForms) {
+  const char* argv[] = {"prog", "--flag", "--key=value", "--num", "3",
+                        "positional"};
+  Cli cli(6, const_cast<char**>(argv));
+  EXPECT_TRUE(cli.has("flag"));
+  EXPECT_EQ(cli.get("key", ""), "value");
+  EXPECT_EQ(cli.get_int("num", 0), 3);
+  ASSERT_EQ(cli.positional().size(), 1u);
+  EXPECT_EQ(cli.positional()[0], "positional");
+  EXPECT_FALSE(cli.full());
+}
+
+TEST(Cli, Defaults) {
+  const char* argv[] = {"prog"};
+  Cli cli(1, const_cast<char**>(argv));
+  EXPECT_EQ(cli.get("missing", "dflt"), "dflt");
+  EXPECT_EQ(cli.get_int("missing", 7), 7);
+  EXPECT_DOUBLE_EQ(cli.get_double("missing", 2.5), 2.5);
+}
+
+TEST(Cli, FullFlag) {
+  const char* argv[] = {"prog", "--full"};
+  Cli cli(2, const_cast<char**>(argv));
+  EXPECT_TRUE(cli.full());
+}
+
+}  // namespace
+}  // namespace plbhec

@@ -1,0 +1,230 @@
+// Robustness sweeps: every scheduler must complete with exact grain
+// accounting across measurement-noise levels and failure times; the
+// interior-point solver is exercised on classic constrained test problems
+// with known optima (Hock-Schittkowski style).
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "plbhec/apps/matmul.hpp"
+#include "plbhec/apps/synthetic.hpp"
+#include "plbhec/baselines/acosta.hpp"
+#include "plbhec/baselines/greedy.hpp"
+#include "plbhec/baselines/hdss.hpp"
+#include "plbhec/core/plb_hec.hpp"
+#include "plbhec/rt/engine.hpp"
+#include "plbhec/sim/machine.hpp"
+#include "plbhec/solver/interior_point.hpp"
+
+namespace plbhec {
+namespace {
+
+// ---- Noise sweep -----------------------------------------------------------
+
+class NoiseSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(NoiseSweep, AllSchedulersCompleteUnderNoise) {
+  const double sigma = GetParam();
+  for (int which = 0; which < 4; ++which) {
+    apps::MatMulWorkload w(8192);
+    sim::SimCluster cluster(sim::scenario(2));
+    rt::EngineOptions opts;
+    opts.noise.exec_sigma = sigma;
+    opts.noise.transfer_sigma = sigma;
+    opts.seed = 11;
+    rt::SimEngine engine(cluster, opts);
+    std::unique_ptr<rt::Scheduler> sched;
+    switch (which) {
+      case 0:
+        sched = std::make_unique<core::PlbHecScheduler>();
+        break;
+      case 1:
+        sched = std::make_unique<baselines::GreedyScheduler>();
+        break;
+      case 2:
+        sched = std::make_unique<baselines::HdssScheduler>();
+        break;
+      default:
+        sched = std::make_unique<baselines::AcostaScheduler>();
+    }
+    const rt::RunResult r = engine.run(w, *sched);
+    ASSERT_TRUE(r.ok) << sched->name() << " sigma=" << sigma << ": "
+                      << r.error;
+    std::size_t done = 0;
+    for (const auto& s : r.unit_stats) done += s.grains;
+    EXPECT_EQ(done, w.total_grains()) << sched->name();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sigmas, NoiseSweep,
+                         ::testing::Values(0.0, 0.01, 0.05, 0.15, 0.30));
+
+TEST(NoiseSweep, HeavyNoiseInflatesPlbSolveCount) {
+  // More noise -> worse fits -> more threshold activity; the scheduler
+  // must stay live (bounded solves, full completion).
+  apps::MatMulWorkload w(8192);
+  sim::SimCluster cluster(sim::scenario(2));
+  rt::EngineOptions opts;
+  opts.noise.exec_sigma = 0.30;
+  opts.noise.transfer_sigma = 0.30;
+  rt::SimEngine engine(cluster, opts);
+  core::PlbHecScheduler plb;
+  const rt::RunResult r = engine.run(w, plb);
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_LT(plb.stats().solves, 50u);  // no rebalance thrashing
+}
+
+// ---- Failure-time sweep -----------------------------------------------------
+
+class FailureTiming : public ::testing::TestWithParam<double> {};
+
+TEST_P(FailureTiming, PlbRecoversWheneverTheGpuDies) {
+  const double when = GetParam();
+  apps::SyntheticWorkload::Config cfg;
+  cfg.grains = 20'000;
+  cfg.flops_per_grain = 5e7;
+  cfg.bytes_per_grain = 2048;
+  cfg.gpu_threads_per_grain = 512;
+  apps::SyntheticWorkload probe_w(cfg);
+
+  sim::SimCluster cluster(sim::scenario(2));
+  rt::SimEngine probe_engine(cluster, {});
+  core::PlbHecScheduler probe;
+  const rt::RunResult base = probe_engine.run(probe_w, probe);
+  ASSERT_TRUE(base.ok);
+
+  sim::SimCluster faulty(sim::scenario(2));
+  faulty.fail_unit(1, base.makespan * when);  // A.gpu0
+  rt::SimEngine engine(faulty, {});
+  apps::SyntheticWorkload w(cfg);
+  core::PlbHecScheduler plb;
+  const rt::RunResult r = engine.run(w, plb);
+  ASSERT_TRUE(r.ok) << "fail at " << when << ": " << r.error;
+  EXPECT_TRUE(r.unit_stats[1].failed);
+  std::size_t done = 0;
+  for (const auto& s : r.unit_stats) done += s.grains;
+  EXPECT_EQ(done, w.total_grains());
+  EXPECT_GE(r.makespan, 0.9 * base.makespan);  // losing a GPU cannot be free
+}
+
+INSTANTIATE_TEST_SUITE_P(When, FailureTiming,
+                         ::testing::Values(0.05, 0.2, 0.4, 0.6, 0.85));
+
+// ---- Classic constrained problems ------------------------------------------
+
+/// Hock-Schittkowski #35 (Beale): min 9 - 8x1 - 6x2 - 4x3 + 2x1^2 + 2x2^2
+/// + x3^2 + 2x1x2 + 2x1x3, s.t. x1+x2+2x3 <= 3 (as equality with slack via
+/// bound: we test the equality-active variant x1+x2+2x3 = 3), x >= 0.
+/// With the constraint active the optimum is x = (4/3, 7/9, 4/9).
+class Hs35Equality final : public solver::NlpProblem {
+ public:
+  std::size_t num_vars() const override { return 3; }
+  std::size_t num_constraints() const override { return 1; }
+  double objective(std::span<const double> x) const override {
+    return 9 - 8 * x[0] - 6 * x[1] - 4 * x[2] + 2 * x[0] * x[0] +
+           2 * x[1] * x[1] + x[2] * x[2] + 2 * x[0] * x[1] +
+           2 * x[0] * x[2];
+  }
+  void gradient(std::span<const double> x, std::span<double> g) const override {
+    g[0] = -8 + 4 * x[0] + 2 * x[1] + 2 * x[2];
+    g[1] = -6 + 4 * x[1] + 2 * x[0];
+    g[2] = -4 + 2 * x[2] + 2 * x[0];
+  }
+  void constraints(std::span<const double> x,
+                   std::span<double> c) const override {
+    c[0] = x[0] + x[1] + 2 * x[2] - 3.0;
+  }
+  void jacobian(std::span<const double>, linalg::Matrix& j) const override {
+    j(0, 0) = 1.0;
+    j(0, 1) = 1.0;
+    j(0, 2) = 2.0;
+  }
+  void lagrangian_hessian(std::span<const double>, double obj,
+                          std::span<const double>,
+                          linalg::Matrix& h) const override {
+    h(0, 0) = 4 * obj;
+    h(1, 1) = 4 * obj;
+    h(2, 2) = 2 * obj;
+    h(0, 1) = h(1, 0) = 2 * obj;
+    h(0, 2) = h(2, 0) = 2 * obj;
+    h(1, 2) = h(2, 1) = 0.0;
+  }
+  void bounds(std::span<double> lo, std::span<double> hi) const override {
+    for (auto& v : lo) v = 0.0;
+    for (auto& v : hi) v = solver::kInfinity;
+  }
+};
+
+TEST(InteriorPointClassics, Hs35EqualityVariant) {
+  Hs35Equality prob;
+  std::vector<double> x0{0.5, 0.5, 0.5};
+  const solver::IpResult r = solver::solve_interior_point(prob, x0);
+  ASSERT_TRUE(r.ok()) << solver::to_string(r.status);
+  EXPECT_NEAR(r.x[0], 4.0 / 3.0, 1e-4);
+  EXPECT_NEAR(r.x[1], 7.0 / 9.0, 1e-4);
+  EXPECT_NEAR(r.x[2], 4.0 / 9.0, 1e-4);
+  EXPECT_NEAR(r.objective, 1.0 / 9.0, 1e-5);
+}
+
+/// Entropy-like barrier-friendly problem: min sum x_i ln x_i on the
+/// simplex; optimum is the uniform distribution.
+class MaxEntropy final : public solver::NlpProblem {
+ public:
+  explicit MaxEntropy(std::size_t n) : n_(n) {}
+  std::size_t num_vars() const override { return n_; }
+  std::size_t num_constraints() const override { return 1; }
+  double objective(std::span<const double> x) const override {
+    double s = 0.0;
+    for (double v : x) s += v * std::log(std::max(v, 1e-300));
+    return s;
+  }
+  void gradient(std::span<const double> x, std::span<double> g) const override {
+    for (std::size_t i = 0; i < n_; ++i)
+      g[i] = std::log(std::max(x[i], 1e-300)) + 1.0;
+  }
+  void constraints(std::span<const double> x,
+                   std::span<double> c) const override {
+    double s = 0.0;
+    for (double v : x) s += v;
+    c[0] = s - 1.0;
+  }
+  void jacobian(std::span<const double>, linalg::Matrix& j) const override {
+    for (std::size_t i = 0; i < n_; ++i) j(0, i) = 1.0;
+  }
+  void lagrangian_hessian(std::span<const double> x, double obj,
+                          std::span<const double>,
+                          linalg::Matrix& h) const override {
+    for (std::size_t i = 0; i < n_; ++i)
+      for (std::size_t k = 0; k < n_; ++k) h(i, k) = 0.0;
+    for (std::size_t i = 0; i < n_; ++i)
+      h(i, i) = obj / std::max(x[i], 1e-300);
+  }
+  void bounds(std::span<double> lo, std::span<double> hi) const override {
+    for (auto& v : lo) v = 0.0;
+    for (auto& v : hi) v = 1.0;
+  }
+
+ private:
+  std::size_t n_;
+};
+
+class MaxEntropySizes : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(MaxEntropySizes, UniformIsRecovered) {
+  const std::size_t n = GetParam();
+  MaxEntropy prob(n);
+  // Deliberately skewed start.
+  std::vector<double> x0(n, 0.1 / static_cast<double>(n));
+  x0[0] = 1.0 - 0.1 * (static_cast<double>(n) - 1.0) / static_cast<double>(n);
+  const solver::IpResult r = solver::solve_interior_point(prob, x0);
+  ASSERT_TRUE(r.ok()) << solver::to_string(r.status);
+  for (std::size_t i = 0; i < n; ++i)
+    EXPECT_NEAR(r.x[i], 1.0 / static_cast<double>(n), 1e-4) << i;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, MaxEntropySizes,
+                         ::testing::Values(2, 3, 5, 10, 20));
+
+}  // namespace
+}  // namespace plbhec

@@ -1,0 +1,409 @@
+// Tests for the task runtime: the discrete-event engine's dispatch /
+// barrier / failure semantics (driven by scripted stub schedulers), the
+// profiling database, trace accounting, and the real-threaded engine
+// (actual kernels on host threads, schedule-independent results).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "plbhec/apps/synthetic.hpp"
+#include "plbhec/rt/engine.hpp"
+#include "plbhec/rt/profile_db.hpp"
+#include "plbhec/rt/thread_engine.hpp"
+#include "plbhec/sim/machine.hpp"
+
+namespace plbhec::rt {
+namespace {
+
+apps::SyntheticWorkload::Config small_config() {
+  apps::SyntheticWorkload::Config c;
+  c.grains = 1000;
+  c.flops_per_grain = 1e7;
+  c.bytes_per_grain = 4096;
+  c.spin_iters_per_grain = 50;
+  return c;
+}
+
+/// Hands out fixed-size chunks forever (greedy-like).
+class FixedScheduler final : public Scheduler {
+ public:
+  explicit FixedScheduler(std::size_t block) : block_(block) {}
+  std::string name() const override { return "fixed"; }
+  void start(const std::vector<UnitInfo>& units, const WorkInfo& work) override {
+    units_seen = units.size();
+    work_seen = work;
+  }
+  std::size_t next_block(UnitId, double) override { return block_; }
+  void on_complete(const TaskObservation& obs) override {
+    completions.push_back(obs);
+  }
+  std::size_t units_seen = 0;
+  WorkInfo work_seen;
+  std::vector<TaskObservation> completions;
+
+ private:
+  std::size_t block_;
+};
+
+/// Parks everyone after the first round until a barrier, N times.
+class BarrierScheduler final : public Scheduler {
+ public:
+  std::string name() const override { return "barrier"; }
+  void start(const std::vector<UnitInfo>& units, const WorkInfo&) override {
+    pending_.assign(units.size(), 10);
+  }
+  std::size_t next_block(UnitId u, double) override {
+    const std::size_t b = pending_[u];
+    pending_[u] = 0;
+    return b;
+  }
+  void on_complete(const TaskObservation&) override {}
+  void on_barrier(double) override {
+    ++barriers;
+    for (auto& p : pending_) p = 10;
+  }
+  std::size_t barriers = 0;
+
+ private:
+  std::vector<std::size_t> pending_;
+};
+
+/// Refuses to schedule anything (engine must error out, not hang).
+class RefusingScheduler final : public Scheduler {
+ public:
+  std::string name() const override { return "refuse"; }
+  void start(const std::vector<UnitInfo>&, const WorkInfo&) override {}
+  std::size_t next_block(UnitId, double) override { return 0; }
+  void on_complete(const TaskObservation&) override {}
+};
+
+sim::SimCluster one_machine() { return sim::SimCluster(sim::scenario(1)); }
+
+TEST(SimEngine, CompletesAllGrains) {
+  auto cluster = one_machine();
+  apps::SyntheticWorkload w(small_config());
+  SimEngine engine(cluster, {});
+  FixedScheduler sched(64);
+  const RunResult r = engine.run(w, sched);
+  ASSERT_TRUE(r.ok) << r.error;
+  std::size_t done = 0;
+  for (const auto& s : r.unit_stats) done += s.grains;
+  EXPECT_EQ(done, w.total_grains());
+  EXPECT_GT(r.makespan, 0.0);
+}
+
+TEST(SimEngine, SchedulerSeesClusterAndWork) {
+  auto cluster = one_machine();
+  apps::SyntheticWorkload w(small_config());
+  SimEngine engine(cluster, {});
+  FixedScheduler sched(64);
+  (void)engine.run(w, sched);
+  EXPECT_EQ(sched.units_seen, 2u);
+  EXPECT_EQ(sched.work_seen.total_grains, 1000u);
+  EXPECT_GT(sched.work_seen.initial_block, 0u);
+}
+
+TEST(SimEngine, LastBlockClamped) {
+  auto cluster = one_machine();
+  auto cfg = small_config();
+  cfg.grains = 100;
+  apps::SyntheticWorkload w(cfg);
+  SimEngine engine(cluster, {});
+  FixedScheduler sched(64);  // 64 + 64 would exceed 100
+  const RunResult r = engine.run(w, sched);
+  ASSERT_TRUE(r.ok);
+  std::size_t total = 0;
+  for (const auto& obs : sched.completions) {
+    EXPECT_LE(obs.grains, 64u);
+    total += obs.grains;
+  }
+  EXPECT_EQ(total, 100u);
+}
+
+TEST(SimEngine, ObservationsHaveConsistentTimes) {
+  auto cluster = one_machine();
+  apps::SyntheticWorkload w(small_config());
+  SimEngine engine(cluster, {});
+  FixedScheduler sched(100);
+  const RunResult r = engine.run(w, sched);
+  ASSERT_TRUE(r.ok);
+  for (const auto& obs : sched.completions) {
+    EXPECT_GT(obs.exec_seconds, 0.0);
+    EXPECT_GT(obs.transfer_seconds, 0.0);
+    EXPECT_NEAR(obs.finish_time - obs.start_time,
+                obs.exec_seconds + obs.transfer_seconds, 1e-12);
+  }
+}
+
+TEST(SimEngine, DeterministicForSameSeed) {
+  auto cluster = one_machine();
+  apps::SyntheticWorkload w(small_config());
+  EngineOptions opts;
+  opts.seed = 99;
+  SimEngine engine(cluster, opts);
+  FixedScheduler s1(64), s2(64);
+  const RunResult r1 = engine.run(w, s1);
+  const RunResult r2 = engine.run(w, s2);
+  EXPECT_DOUBLE_EQ(r1.makespan, r2.makespan);
+}
+
+TEST(SimEngine, SeedChangesNoise) {
+  auto cluster = one_machine();
+  apps::SyntheticWorkload w(small_config());
+  EngineOptions a, b;
+  a.seed = 1;
+  b.seed = 2;
+  FixedScheduler s1(64), s2(64);
+  const RunResult r1 = SimEngine(cluster, a).run(w, s1);
+  const RunResult r2 = SimEngine(cluster, b).run(w, s2);
+  EXPECT_NE(r1.makespan, r2.makespan);
+}
+
+TEST(SimEngine, NoNoiseIsExactlyDeterministic) {
+  auto cluster = one_machine();
+  apps::SyntheticWorkload w(small_config());
+  EngineOptions opts;
+  opts.noise = sim::NoiseModel::none();
+  SimEngine engine(cluster, opts);
+  FixedScheduler sched(64);
+  const RunResult r = engine.run(w, sched);
+  ASSERT_TRUE(r.ok);
+  // Two identical units (CPU vs GPU differ, but each task of the same size
+  // on the same unit must take exactly the same time).
+  for (std::size_t i = 1; i + 1 < sched.completions.size(); ++i) {
+    const auto& a = sched.completions[i - 1];
+    const auto& b = sched.completions[i];
+    if (a.unit == b.unit && a.grains == b.grains)
+      EXPECT_DOUBLE_EQ(a.exec_seconds, b.exec_seconds);
+  }
+}
+
+TEST(SimEngine, BarrierProtocol) {
+  auto cluster = one_machine();
+  auto cfg = small_config();
+  cfg.grains = 100;  // 2 units x 10 grains per round -> 5 barriers expected
+  apps::SyntheticWorkload w(cfg);
+  SimEngine engine(cluster, {});
+  BarrierScheduler sched;
+  const RunResult r = engine.run(w, sched);
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(sched.barriers, 4u);  // rounds 2..5 each preceded by a barrier
+  EXPECT_EQ(r.barriers, 4u);
+}
+
+TEST(SimEngine, RefusingSchedulerErrorsOut) {
+  auto cluster = one_machine();
+  apps::SyntheticWorkload w(small_config());
+  SimEngine engine(cluster, {});
+  RefusingScheduler sched;
+  const RunResult r = engine.run(w, sched);
+  EXPECT_FALSE(r.ok);
+  EXPECT_FALSE(r.error.empty());
+}
+
+TEST(SimEngine, TraceAccountsEveryExecGrain) {
+  auto cluster = one_machine();
+  apps::SyntheticWorkload w(small_config());
+  SimEngine engine(cluster, {});
+  FixedScheduler sched(128);
+  const RunResult r = engine.run(w, sched);
+  ASSERT_TRUE(r.ok);
+  std::size_t traced = 0;
+  for (const auto& seg : r.trace.segments())
+    if (seg.kind == SegmentKind::kExec) traced += seg.grains;
+  EXPECT_EQ(traced, w.total_grains());
+}
+
+TEST(SimEngine, TraceSegmentsAreOrderedPerUnit) {
+  auto cluster = one_machine();
+  apps::SyntheticWorkload w(small_config());
+  SimEngine engine(cluster, {});
+  FixedScheduler sched(64);
+  const RunResult r = engine.run(w, sched);
+  ASSERT_TRUE(r.ok);
+  std::vector<double> last_end(cluster.size(), 0.0);
+  for (const auto& seg : r.trace.segments()) {
+    EXPECT_GE(seg.start, last_end[seg.unit] - 1e-12);
+    EXPECT_GE(seg.end, seg.start);
+    last_end[seg.unit] = seg.end;
+  }
+}
+
+TEST(SimEngine, IdleFractionInUnitRange) {
+  auto cluster = sim::SimCluster(sim::scenario(2));
+  apps::SyntheticWorkload w(small_config());
+  SimEngine engine(cluster, {});
+  FixedScheduler sched(32);
+  const RunResult r = engine.run(w, sched);
+  ASSERT_TRUE(r.ok);
+  for (UnitId u = 0; u < cluster.size(); ++u) {
+    EXPECT_GE(r.idle_fraction(u), -1e-9);
+    EXPECT_LE(r.idle_fraction(u), 1.0 + 1e-9);
+  }
+}
+
+TEST(SimEngine, FailedUnitWorkIsReassigned) {
+  auto cluster = one_machine();
+  cluster.fail_unit(0, 1e-5);  // CPU dies almost immediately
+  apps::SyntheticWorkload w(small_config());
+  SimEngine engine(cluster, {});
+  FixedScheduler sched(64);
+  const RunResult r = engine.run(w, sched);
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_TRUE(r.unit_stats[0].failed);
+  std::size_t done = 0;
+  for (const auto& s : r.unit_stats) done += s.grains;
+  EXPECT_EQ(done, w.total_grains());
+  EXPECT_EQ(r.unit_stats[0].grains, 0u);  // its in-flight task was lost
+}
+
+TEST(SimEngine, AllUnitsFailedIsError) {
+  auto cluster = one_machine();
+  cluster.fail_unit(0, 1e-6);
+  cluster.fail_unit(1, 1e-6);
+  apps::SyntheticWorkload w(small_config());
+  SimEngine engine(cluster, {});
+  FixedScheduler sched(64);
+  const RunResult r = engine.run(w, sched);
+  EXPECT_FALSE(r.ok);
+}
+
+TEST(SimEngine, SlowdownEventStretchesRun) {
+  auto cluster_fast = one_machine();
+  auto cluster_slow = one_machine();
+  cluster_slow.add_speed_event(1, 0.0, 0.25);  // GPU at quarter speed
+  apps::SyntheticWorkload w(small_config());
+  EngineOptions opts;
+  opts.noise = sim::NoiseModel::none();
+  FixedScheduler s1(64), s2(64);
+  const RunResult fast = SimEngine(cluster_fast, opts).run(w, s1);
+  const RunResult slow = SimEngine(cluster_slow, opts).run(w, s2);
+  ASSERT_TRUE(fast.ok && slow.ok);
+  EXPECT_GT(slow.makespan, fast.makespan);
+}
+
+TEST(ProfileDb, RecordsAndFits) {
+  ProfileDb db(2, 1000);
+  for (std::size_t g : {10u, 20u, 40u, 80u, 160u}) {
+    TaskObservation obs;
+    obs.unit = 0;
+    obs.grains = g;
+    obs.exec_seconds = 0.01 + 0.002 * static_cast<double>(g);
+    obs.transfer_seconds = 0.001 * static_cast<double>(g);
+    db.record(obs);
+  }
+  EXPECT_EQ(db.exec_samples(0).size(), 5u);
+  EXPECT_EQ(db.exec_samples(1).size(), 0u);
+  const fit::PerfModel m = db.fit_unit(0);
+  ASSERT_TRUE(m.valid());
+  // exec(x) = 0.01 + 2.0 * x with x = grains/1000.
+  EXPECT_NEAR(m.execution_time(0.1), 0.21, 0.02);
+  EXPECT_NEAR(m.transfer(0.1), 0.1, 0.01);
+}
+
+TEST(ProfileDb, GrainsToFraction) {
+  ProfileDb db(1, 200);
+  EXPECT_DOUBLE_EQ(db.grains_to_fraction(50), 0.25);
+}
+
+TEST(ProfileDb, AllAcceptableRequiresEveryUnit) {
+  ProfileDb db(2, 1000);
+  TaskObservation obs;
+  obs.unit = 0;
+  for (std::size_t g : {10u, 20u, 40u, 80u}) {
+    obs.grains = g;
+    obs.exec_seconds = 0.002 * static_cast<double>(g);
+    obs.transfer_seconds = 1e-4;
+    db.record(obs);
+  }
+  EXPECT_FALSE(db.all_acceptable());  // unit 1 has no samples
+}
+
+TEST(ProfileDb, ZeroGrainObservationIgnored) {
+  ProfileDb db(1, 100);
+  TaskObservation obs;
+  obs.unit = 0;
+  obs.grains = 0;
+  db.record(obs);
+  EXPECT_TRUE(db.exec_samples(0).empty());
+}
+
+TEST(TraceLog, Accounting) {
+  TraceLog log;
+  log.add({0, SegmentKind::kTransfer, 0.0, 1.0, 10});
+  log.add({0, SegmentKind::kExec, 1.0, 3.0, 10});
+  log.add({1, SegmentKind::kExec, 0.0, 5.0, 20});
+  EXPECT_DOUBLE_EQ(log.busy_seconds(0), 3.0);
+  EXPECT_DOUBLE_EQ(log.busy_seconds(1), 5.0);
+  EXPECT_EQ(log.grains_processed(0), 10u);  // transfer grains not counted
+  EXPECT_EQ(log.task_count(0), 1u);
+  EXPECT_EQ(log.task_count(1), 1u);
+}
+
+// ---- Real-threaded engine ---------------------------------------------------
+
+TEST(ThreadEngine, RunsRealKernelToCompletion) {
+  apps::SyntheticWorkload w(small_config());
+  ThreadEngineOptions opts;
+  opts.slowdowns = {1.0, 1.5};
+  ThreadEngine engine(opts);
+  FixedScheduler sched(100);
+  const RunResult r = engine.run(w, sched);
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(w.executed_grains(), w.total_grains());
+  EXPECT_GT(r.makespan, 0.0);
+  std::size_t done = 0;
+  for (const auto& s : r.unit_stats) done += s.grains;
+  EXPECT_EQ(done, w.total_grains());
+}
+
+TEST(ThreadEngine, ChecksumIndependentOfSchedule) {
+  apps::SyntheticWorkload w1(small_config());
+  apps::SyntheticWorkload w2(small_config());
+  ThreadEngineOptions opts;
+  opts.slowdowns = {1.0, 2.0, 3.0};
+  FixedScheduler s1(37), s2(200);
+  const RunResult r1 = ThreadEngine(opts).run(w1, s1);
+  const RunResult r2 = ThreadEngine(opts).run(w2, s2);
+  ASSERT_TRUE(r1.ok && r2.ok);
+  EXPECT_NEAR(w1.checksum(), w2.checksum(), 1e-6 * std::fabs(w1.checksum()));
+}
+
+TEST(ThreadEngine, BarrierSchedulerWorks) {
+  auto cfg = small_config();
+  cfg.grains = 60;  // 3 units x 10 per round -> barriers
+  apps::SyntheticWorkload w(cfg);
+  ThreadEngineOptions opts;
+  opts.slowdowns = {1.0, 1.0, 1.0};
+  ThreadEngine engine(opts);
+  BarrierScheduler sched;
+  const RunResult r = engine.run(w, sched);
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_GE(sched.barriers, 1u);
+  EXPECT_EQ(w.executed_grains(), 60u);
+}
+
+TEST(ThreadEngine, RefusingSchedulerFailsGracefully) {
+  apps::SyntheticWorkload w(small_config());
+  ThreadEngineOptions opts;
+  opts.slowdowns = {1.0, 1.0};
+  ThreadEngine engine(opts);
+  RefusingScheduler sched;
+  const RunResult r = engine.run(w, sched);
+  EXPECT_FALSE(r.ok);
+  EXPECT_FALSE(r.error.empty());
+}
+
+TEST(ThreadEngine, UnitNamesAndKinds) {
+  ThreadEngineOptions opts;
+  opts.slowdowns = {1.0, 2.0};
+  ThreadEngine engine(opts);
+  ASSERT_EQ(engine.units().size(), 2u);
+  EXPECT_EQ(engine.units()[0].name, "host.cpu0");
+  EXPECT_EQ(engine.units()[1].kind, ProcKind::kCpu);
+}
+
+}  // namespace
+}  // namespace plbhec::rt

@@ -1,0 +1,280 @@
+// Tests for the cluster simulator: device cost models (monotonicity, wave
+// quantization, roofline blend), transfer links, Table I machine presets,
+// cluster construction, noise model and speed/failure timelines.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "plbhec/common/rng.hpp"
+#include "plbhec/common/stats.hpp"
+#include "plbhec/sim/cluster.hpp"
+#include "plbhec/sim/device.hpp"
+#include "plbhec/sim/link.hpp"
+#include "plbhec/sim/machine.hpp"
+#include "plbhec/sim/noise.hpp"
+
+namespace plbhec::sim {
+namespace {
+
+WorkloadProfile basic_profile() {
+  WorkloadProfile p;
+  p.name = "test";
+  p.flops_per_grain = 1e6;
+  p.bytes_per_grain = 1024;
+  p.device_bytes_per_grain = 512;
+  p.gpu_threads_per_grain = 64;
+  p.cpu_parallel_fraction = 0.95;
+  p.gpu_efficiency = 0.5;
+  p.cpu_efficiency = 0.5;
+  return p;
+}
+
+GpuModel test_gpu() {
+  return GpuModel({.name = "TestGPU",
+                   .cores = 1024,
+                   .sm_count = 8,
+                   .resident_threads_per_sm = 1024,
+                   .clock_ghz = 1.0,
+                   .mem_bandwidth_bps = 100e9,
+                   .launch_overhead_s = 20e-6});
+}
+
+CpuModel test_cpu() {
+  return CpuModel({.name = "TestCPU",
+                   .cores = 4,
+                   .clock_ghz = 3.0,
+                   .flops_per_core_per_cycle = 8.0,
+                   .mem_bandwidth_bps = 30e9,
+                   .dispatch_overhead_s = 5e-6});
+}
+
+TEST(GpuModel, ZeroGrainsIsFree) {
+  EXPECT_EQ(test_gpu().execution_seconds(basic_profile(), 0.0), 0.0);
+}
+
+TEST(GpuModel, MonotoneNonDecreasing) {
+  const GpuModel gpu = test_gpu();
+  auto p = basic_profile();
+  p.gpu_saturation_grains = 64.0;
+  double prev = 0.0;
+  for (double g = 1; g <= 200'000; g = g * 1.37 + 1.0) {
+    const double t = gpu.execution_seconds(p, g);
+    EXPECT_GE(t, prev) << "grains " << g;
+    prev = t;
+  }
+  EXPECT_GT(gpu.execution_seconds(p, 100'000.0),
+            10.0 * gpu.execution_seconds(p, 100.0));
+}
+
+TEST(GpuModel, LaunchOverheadDominatesTinyBlocks) {
+  const GpuModel gpu = test_gpu();
+  auto p = basic_profile();
+  p.flops_per_grain = 1.0;
+  p.device_bytes_per_grain = 1.0;
+  EXPECT_NEAR(gpu.execution_seconds(p, 1.0), 20e-6, 5e-6);
+}
+
+TEST(GpuModel, WaveQuantization) {
+  // capacity = 8 SMs * 1024 threads = 8192 threads = 128 grains.
+  const GpuModel gpu = test_gpu();
+  auto p = basic_profile();
+  p.gpu_saturation_grains = 0.0;
+  const double t_full_wave = gpu.execution_seconds(p, 128.0);
+  const double t_just_over = gpu.execution_seconds(p, 129.0);
+  // Crossing a wave boundary must cost a visible jump.
+  EXPECT_GT(t_just_over, t_full_wave * 1.3);
+}
+
+TEST(GpuModel, PerGrainTimeImprovesWithOccupancy) {
+  const GpuModel gpu = test_gpu();
+  const auto p = basic_profile();
+  const double per_grain_small = gpu.execution_seconds(p, 8.0) / 8.0;
+  const double per_grain_large = gpu.execution_seconds(p, 4096.0) / 4096.0;
+  EXPECT_GT(per_grain_small, per_grain_large);
+}
+
+TEST(GpuModel, SaturationWarmupSlowsSmallBlocksRelatively) {
+  const GpuModel gpu = test_gpu();
+  auto with = basic_profile();
+  with.gpu_saturation_grains = 256.0;
+  auto without = basic_profile();
+  without.gpu_saturation_grains = 0.0;
+  // Small blocks pay a large relative warmup penalty...
+  const double small_ratio = gpu.execution_seconds(with, 128.0) /
+                             gpu.execution_seconds(without, 128.0);
+  EXPECT_GT(small_ratio, 1.3);
+  // ...which washes out on large blocks.
+  const double large_ratio = gpu.execution_seconds(with, 1e6) /
+                             gpu.execution_seconds(without, 1e6);
+  EXPECT_LT(large_ratio, 1.05);
+}
+
+TEST(GpuModel, MemoryBoundBlendsToBandwidth) {
+  const GpuModel gpu = test_gpu();
+  auto p = basic_profile();
+  p.flops_per_grain = 1.0;           // no compute
+  p.device_bytes_per_grain = 1e6;    // heavy traffic
+  const double grains = 1000.0;
+  const double expected = grains * 1e6 / 100e9;
+  EXPECT_NEAR(gpu.execution_seconds(p, grains), expected + 20e-6,
+              0.05 * expected);
+}
+
+TEST(GpuModel, PeakFlops) {
+  EXPECT_DOUBLE_EQ(test_gpu().peak_flops(), 1024 * 1e9 * 2.0);
+  EXPECT_EQ(test_gpu().kind(), DeviceKind::kGpu);
+  EXPECT_NE(test_gpu().description().find("TestGPU"), std::string::npos);
+}
+
+TEST(CpuModel, LinearInGrains) {
+  const CpuModel cpu = test_cpu();
+  const auto p = basic_profile();
+  const double t1 = cpu.execution_seconds(p, 100.0);
+  const double t2 = cpu.execution_seconds(p, 200.0);
+  EXPECT_NEAR(t2 - cpu.params().dispatch_overhead_s,
+              2.0 * (t1 - cpu.params().dispatch_overhead_s), 1e-9);
+}
+
+TEST(CpuModel, AmdahlLimitsSpeedup) {
+  auto serial = basic_profile();
+  serial.cpu_parallel_fraction = 0.0;
+  auto parallel = basic_profile();
+  parallel.cpu_parallel_fraction = 1.0;
+  const CpuModel cpu = test_cpu();
+  const double t_serial = cpu.execution_seconds(serial, 1000.0);
+  const double t_parallel = cpu.execution_seconds(parallel, 1000.0);
+  EXPECT_NEAR(t_serial / t_parallel, 4.0, 0.05);  // 4 cores
+}
+
+TEST(CpuModel, KindAndPeak) {
+  EXPECT_EQ(test_cpu().kind(), DeviceKind::kCpu);
+  EXPECT_DOUBLE_EQ(test_cpu().peak_flops(), 4 * 3.0e9 * 8.0);
+}
+
+TEST(Link, TransferSeconds) {
+  LinkModel l{1e-3, 1e9};
+  EXPECT_DOUBLE_EQ(l.transfer_seconds(1e9), 1.0 + 1e-3);
+  EXPECT_DOUBLE_EQ(l.transfer_seconds(0.0), 1e-3);
+}
+
+TEST(Link, SerialComposition) {
+  LinkModel a{1e-3, 1e9};
+  LinkModel b{2e-3, 1e9};
+  const LinkModel c = a.then(b);
+  EXPECT_DOUBLE_EQ(c.latency_s, 3e-3);
+  EXPECT_DOUBLE_EQ(c.bandwidth_bps, 0.5e9);  // harmonic composition
+}
+
+TEST(Link, Presets) {
+  EXPECT_GT(pcie3_x16().bandwidth_bps, pcie2_x16().bandwidth_bps);
+  EXPECT_GT(pcie2_x16().bandwidth_bps, gigabit_ethernet().bandwidth_bps);
+}
+
+TEST(Machines, TableOneShapes) {
+  EXPECT_EQ(machine_a().units.size(), 2u);  // CPU + K20c
+  EXPECT_EQ(machine_b(false).units.size(), 2u);
+  EXPECT_EQ(machine_b(true).units.size(), 3u);  // GTX 295 has two halves
+  EXPECT_EQ(machine_c(true).units.size(), 3u);
+  EXPECT_EQ(machine_d().units.size(), 2u);
+}
+
+TEST(Machines, ScenarioComposition) {
+  EXPECT_EQ(scenario(1).size(), 1u);
+  EXPECT_EQ(scenario(4).size(), 4u);
+  const auto s = scenario(4, true);
+  std::size_t units = 0;
+  for (const auto& m : s) units += m.units.size();
+  EXPECT_EQ(units, 10u);  // 4 CPUs + 6 GPUs
+}
+
+TEST(Machines, GpuSpeedOrderingMatchesHardware) {
+  // Titan > K20c > GTX680 > half a GTX295 on a compute-bound profile.
+  auto p = basic_profile();
+  p.gpu_threads_per_grain = 1024.0;  // saturate everything
+  const double g = 100000.0;
+  const auto time_of = [&](const MachineConfig& m) {
+    return m.units[1].device->execution_seconds(p, g);
+  };
+  const double titan = time_of(machine_d());
+  const double k20 = time_of(machine_a());
+  const double gtx680 = time_of(machine_c());
+  const double gtx295 = time_of(machine_b());
+  EXPECT_LT(titan, k20);
+  EXPECT_LT(k20, gtx680);
+  EXPECT_LT(gtx680, gtx295);
+}
+
+TEST(Machines, Table1Renders) {
+  const std::string t = table1_string(scenario(4));
+  EXPECT_NE(t.find("Tesla K20c"), std::string::npos);
+  EXPECT_NE(t.find("GTX Titan"), std::string::npos);
+}
+
+TEST(Cluster, FlattensUnits) {
+  SimCluster cluster(scenario(2));
+  EXPECT_EQ(cluster.size(), 4u);
+  EXPECT_EQ(cluster.unit(0).name, "A.cpu");
+  EXPECT_EQ(cluster.unit(3).name, "B.gpu0");
+  EXPECT_EQ(cluster.unit(3).machine_index, 1u);
+}
+
+TEST(Cluster, SpeedTimeline) {
+  SimCluster cluster(scenario(1));
+  cluster.add_speed_event(0, 10.0, 0.5);
+  cluster.add_speed_event(0, 20.0, 1.0);
+  const auto& u = cluster.unit(0);
+  EXPECT_DOUBLE_EQ(u.speed_factor(5.0), 1.0);
+  EXPECT_DOUBLE_EQ(u.speed_factor(10.0), 0.5);
+  EXPECT_DOUBLE_EQ(u.speed_factor(15.0), 0.5);
+  EXPECT_DOUBLE_EQ(u.speed_factor(25.0), 1.0);
+  EXPECT_FALSE(u.failure_time().has_value());
+}
+
+TEST(Cluster, FailureTimeline) {
+  SimCluster cluster(scenario(1));
+  cluster.fail_unit(1, 42.0);
+  const auto& u = cluster.unit(1);
+  ASSERT_TRUE(u.failure_time().has_value());
+  EXPECT_DOUBLE_EQ(*u.failure_time(), 42.0);
+  EXPECT_FALSE(u.failed_at(41.0));
+  EXPECT_TRUE(u.failed_at(42.0));
+}
+
+TEST(Cluster, EventsSortedEvenIfAddedOutOfOrder) {
+  SimCluster cluster(scenario(1));
+  cluster.add_speed_event(0, 20.0, 0.25);
+  cluster.add_speed_event(0, 10.0, 0.5);
+  EXPECT_DOUBLE_EQ(cluster.unit(0).speed_factor(15.0), 0.5);
+}
+
+TEST(Noise, NoneIsIdentity) {
+  Rng rng(1);
+  const NoiseModel none = NoiseModel::none();
+  EXPECT_DOUBLE_EQ(none.perturb_exec(1.5, rng), 1.5);
+  EXPECT_DOUBLE_EQ(none.perturb_transfer(0.5, rng), 0.5);
+}
+
+TEST(Noise, MultiplicativeAroundTruth) {
+  Rng rng(2);
+  NoiseModel noise;
+  noise.jitter_s = 0.0;
+  RunningStats s;
+  for (int i = 0; i < 20'000; ++i) s.add(noise.perturb_exec(1.0, rng));
+  EXPECT_NEAR(s.mean(), 1.0, 0.01);
+  EXPECT_GT(s.stddev(), 0.005);
+}
+
+TEST(Noise, JitterIsAdditivePositive) {
+  Rng rng(3);
+  NoiseModel noise;
+  noise.exec_sigma = 0.0;
+  noise.jitter_s = 1e-3;
+  RunningStats s;
+  for (int i = 0; i < 20'000; ++i) s.add(noise.perturb_exec(1.0, rng));
+  EXPECT_NEAR(s.mean(), 1.0 + 1e-3, 2e-4);
+  EXPECT_GE(s.min(), 1.0);
+}
+
+}  // namespace
+}  // namespace plbhec::sim

@@ -1,0 +1,444 @@
+// Tests for the optimization layer: the interior-point NLP solver on
+// problems with known solutions (QPs, bound-constrained, equality-
+// constrained), KKT quality, the analytic equal-time solver, the
+// block-size selection front end and grain rounding. Includes the
+// cross-check property: on well-behaved curve sets the interior-point
+// selection and the analytic solver must agree.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "plbhec/common/rng.hpp"
+#include "plbhec/solver/block_selection.hpp"
+#include "plbhec/solver/equal_time.hpp"
+#include "plbhec/solver/interior_point.hpp"
+
+namespace plbhec::solver {
+namespace {
+
+/// min (x0-1)^2 + (x1-2.5)^2, bounds x >= 0 — unconstrained optimum feasible.
+class SimpleQp final : public NlpProblem {
+ public:
+  std::size_t num_vars() const override { return 2; }
+  std::size_t num_constraints() const override { return 0; }
+  double objective(std::span<const double> x) const override {
+    return (x[0] - 1.0) * (x[0] - 1.0) + (x[1] - 2.5) * (x[1] - 2.5);
+  }
+  void gradient(std::span<const double> x,
+                std::span<double> g) const override {
+    g[0] = 2.0 * (x[0] - 1.0);
+    g[1] = 2.0 * (x[1] - 2.5);
+  }
+  void constraints(std::span<const double>, std::span<double>) const override {}
+  void jacobian(std::span<const double>, linalg::Matrix&) const override {}
+  void lagrangian_hessian(std::span<const double>, double obj,
+                          std::span<const double>,
+                          linalg::Matrix& h) const override {
+    h(0, 0) = 2.0 * obj;
+    h(1, 1) = 2.0 * obj;
+    h(0, 1) = h(1, 0) = 0.0;
+  }
+  void bounds(std::span<double> lo, std::span<double> hi) const override {
+    lo[0] = lo[1] = 0.0;
+    hi[0] = hi[1] = kInfinity;
+  }
+};
+
+TEST(InteriorPoint, UnconstrainedQpInterior) {
+  SimpleQp qp;
+  std::vector<double> x0{0.5, 0.5};
+  const IpResult r = solve_interior_point(qp, x0);
+  ASSERT_TRUE(r.ok()) << to_string(r.status);
+  EXPECT_NEAR(r.x[0], 1.0, 1e-6);
+  EXPECT_NEAR(r.x[1], 2.5, 1e-6);
+  EXPECT_LT(r.kkt_error, 1e-7);
+}
+
+/// min (x0+1)^2 + x1^2 with x >= 0: optimum at the bound x0 = 0.
+class BoundActiveQp final : public NlpProblem {
+ public:
+  std::size_t num_vars() const override { return 2; }
+  std::size_t num_constraints() const override { return 0; }
+  double objective(std::span<const double> x) const override {
+    return (x[0] + 1.0) * (x[0] + 1.0) + x[1] * x[1];
+  }
+  void gradient(std::span<const double> x,
+                std::span<double> g) const override {
+    g[0] = 2.0 * (x[0] + 1.0);
+    g[1] = 2.0 * x[1];
+  }
+  void constraints(std::span<const double>, std::span<double>) const override {}
+  void jacobian(std::span<const double>, linalg::Matrix&) const override {}
+  void lagrangian_hessian(std::span<const double>, double obj,
+                          std::span<const double>,
+                          linalg::Matrix& h) const override {
+    h(0, 0) = h(1, 1) = 2.0 * obj;
+    h(0, 1) = h(1, 0) = 0.0;
+  }
+  void bounds(std::span<double> lo, std::span<double> hi) const override {
+    lo[0] = lo[1] = 0.0;
+    hi[0] = hi[1] = kInfinity;
+  }
+};
+
+TEST(InteriorPoint, ActiveBoundFound) {
+  BoundActiveQp qp;
+  std::vector<double> x0{1.0, 1.0};
+  const IpResult r = solve_interior_point(qp, x0);
+  ASSERT_TRUE(r.ok()) << to_string(r.status);
+  // Interior-point iterates approach an active bound only to within the
+  // final barrier parameter's complementarity slack.
+  EXPECT_NEAR(r.x[0], 0.0, 5e-4);
+  EXPECT_NEAR(r.x[1], 0.0, 5e-4);
+}
+
+/// min x0^2 + x1^2 s.t. x0 + x1 = 1: optimum (0.5, 0.5), lambda = -1.
+class EqualityQp final : public NlpProblem {
+ public:
+  std::size_t num_vars() const override { return 2; }
+  std::size_t num_constraints() const override { return 1; }
+  double objective(std::span<const double> x) const override {
+    return x[0] * x[0] + x[1] * x[1];
+  }
+  void gradient(std::span<const double> x,
+                std::span<double> g) const override {
+    g[0] = 2.0 * x[0];
+    g[1] = 2.0 * x[1];
+  }
+  void constraints(std::span<const double> x,
+                   std::span<double> c) const override {
+    c[0] = x[0] + x[1] - 1.0;
+  }
+  void jacobian(std::span<const double>, linalg::Matrix& j) const override {
+    j(0, 0) = j(0, 1) = 1.0;
+  }
+  void lagrangian_hessian(std::span<const double>, double obj,
+                          std::span<const double>,
+                          linalg::Matrix& h) const override {
+    h(0, 0) = h(1, 1) = 2.0 * obj;
+    h(0, 1) = h(1, 0) = 0.0;
+  }
+  void bounds(std::span<double> lo, std::span<double> hi) const override {
+    lo[0] = lo[1] = -kInfinity;
+    hi[0] = hi[1] = kInfinity;
+  }
+};
+
+TEST(InteriorPoint, EqualityConstrainedQp) {
+  EqualityQp qp;
+  std::vector<double> x0{2.0, -1.0};
+  const IpResult r = solve_interior_point(qp, x0);
+  ASSERT_TRUE(r.ok()) << to_string(r.status);
+  EXPECT_NEAR(r.x[0], 0.5, 1e-6);
+  EXPECT_NEAR(r.x[1], 0.5, 1e-6);
+  EXPECT_NEAR(r.objective, 0.5, 1e-6);
+  EXPECT_LT(r.constraint_violation, 1e-8);
+  ASSERT_EQ(r.lambda.size(), 1u);
+  EXPECT_NEAR(r.lambda[0], -1.0, 1e-5);
+}
+
+/// Rosenbrock in a box, constrained to the unit disk boundary is too mean;
+/// use plain bounded Rosenbrock: min (1-x)^2 + 100(y-x^2)^2, 0<=x,y<=2.
+class Rosenbrock final : public NlpProblem {
+ public:
+  std::size_t num_vars() const override { return 2; }
+  std::size_t num_constraints() const override { return 0; }
+  double objective(std::span<const double> v) const override {
+    const double x = v[0], y = v[1];
+    return (1 - x) * (1 - x) + 100.0 * (y - x * x) * (y - x * x);
+  }
+  void gradient(std::span<const double> v, std::span<double> g) const override {
+    const double x = v[0], y = v[1];
+    g[0] = -2.0 * (1 - x) - 400.0 * x * (y - x * x);
+    g[1] = 200.0 * (y - x * x);
+  }
+  void constraints(std::span<const double>, std::span<double>) const override {}
+  void jacobian(std::span<const double>, linalg::Matrix&) const override {}
+  void lagrangian_hessian(std::span<const double> v, double obj,
+                          std::span<const double>,
+                          linalg::Matrix& h) const override {
+    const double x = v[0], y = v[1];
+    h(0, 0) = obj * (2.0 - 400.0 * (y - 3.0 * x * x));
+    h(0, 1) = h(1, 0) = obj * (-400.0 * x);
+    h(1, 1) = obj * 200.0;
+  }
+  void bounds(std::span<double> lo, std::span<double> hi) const override {
+    lo[0] = lo[1] = 0.0;
+    hi[0] = hi[1] = 2.0;
+  }
+};
+
+TEST(InteriorPoint, RosenbrockConverges) {
+  Rosenbrock prob;
+  std::vector<double> x0{0.2, 1.8};
+  IpOptions opts;
+  opts.max_iterations = 500;
+  const IpResult r = solve_interior_point(prob, x0, opts);
+  ASSERT_TRUE(r.ok()) << to_string(r.status);
+  EXPECT_NEAR(r.x[0], 1.0, 1e-4);
+  EXPECT_NEAR(r.x[1], 1.0, 1e-4);
+}
+
+TEST(InteriorPoint, InvalidProblemRejected) {
+  SimpleQp qp;
+  std::vector<double> wrong_size{1.0};
+  const IpResult r = solve_interior_point(qp, wrong_size);
+  EXPECT_EQ(r.status, IpStatus::kInvalidProblem);
+}
+
+TEST(InteriorPoint, StatusStrings) {
+  EXPECT_EQ(to_string(IpStatus::kSolved), "solved");
+  EXPECT_FALSE(to_string(IpStatus::kLineSearchFailure).empty());
+  EXPECT_FALSE(to_string(IpStatus::kSingularSystem).empty());
+  EXPECT_FALSE(to_string(IpStatus::kMaxIterations).empty());
+}
+
+// ---- Equal-time analytic solver ------------------------------------------
+
+fit::PerfModel affine_model(double intercept, double slope,
+                            double tr_slope = 0.0, double tr_lat = 0.0) {
+  fit::PerfModel m;
+  m.exec.terms = {fit::BasisFn::kOne, fit::BasisFn::kX};
+  m.exec.coefficients = {intercept, slope};
+  m.transfer.slope = tr_slope;
+  m.transfer.latency = tr_lat;
+  return m;
+}
+
+TEST(EqualTime, TwoIdenticalUnitsSplitEvenly) {
+  std::vector<fit::PerfModel> models{affine_model(0.0, 1.0),
+                                     affine_model(0.0, 1.0)};
+  const EqualTimeResult r = solve_equal_time(models);
+  ASSERT_TRUE(r.ok);
+  EXPECT_NEAR(r.fractions[0], 0.5, 1e-6);
+  EXPECT_NEAR(r.fractions[1], 0.5, 1e-6);
+}
+
+TEST(EqualTime, SpeedRatioRespected) {
+  // Unit 1 is 3x slower: shares should be 0.75 / 0.25.
+  std::vector<fit::PerfModel> models{affine_model(0.0, 1.0),
+                                     affine_model(0.0, 3.0)};
+  const EqualTimeResult r = solve_equal_time(models);
+  ASSERT_TRUE(r.ok);
+  EXPECT_NEAR(r.fractions[0], 0.75, 1e-3);
+  EXPECT_NEAR(r.fractions[1], 0.25, 1e-3);
+}
+
+TEST(EqualTime, SumsToTarget) {
+  std::vector<fit::PerfModel> models{affine_model(0.1, 2.0),
+                                     affine_model(0.05, 1.0),
+                                     affine_model(0.2, 4.0)};
+  EqualTimeOptions opts;
+  opts.target = 0.25;
+  const EqualTimeResult r = solve_equal_time(models, opts);
+  ASSERT_TRUE(r.ok);
+  const double sum =
+      std::accumulate(r.fractions.begin(), r.fractions.end(), 0.0);
+  EXPECT_NEAR(sum, 0.25, 1e-9);
+}
+
+TEST(EqualTime, EqualizesTimes) {
+  std::vector<fit::PerfModel> models{affine_model(0.02, 2.0, 0.5, 0.01),
+                                     affine_model(0.01, 5.0, 0.5, 0.02),
+                                     affine_model(0.0, 9.0, 0.5, 0.0)};
+  const EqualTimeResult r = solve_equal_time(models);
+  ASSERT_TRUE(r.ok);
+  const double t0 = models[0].total_time(r.fractions[0]);
+  for (std::size_t g = 1; g < models.size(); ++g)
+    EXPECT_NEAR(models[g].total_time(r.fractions[g]), t0, 0.02 * t0);
+}
+
+TEST(EqualTime, SingleUnitGetsTarget) {
+  std::vector<fit::PerfModel> models{affine_model(0.0, 1.0)};
+  const EqualTimeResult r = solve_equal_time(models);
+  ASSERT_TRUE(r.ok);
+  EXPECT_DOUBLE_EQ(r.fractions[0], 1.0);
+}
+
+TEST(EqualTime, EmptyFails) {
+  const EqualTimeResult r = solve_equal_time({});
+  EXPECT_FALSE(r.ok);
+}
+
+TEST(EqualTime, FlatCurvesFallBackProportionally) {
+  // Two constant (uninformative) curves: solver must still return a split.
+  fit::PerfModel flat_fast;
+  flat_fast.exec.terms = {fit::BasisFn::kOne};
+  flat_fast.exec.coefficients = {1.0};
+  fit::PerfModel flat_slow = flat_fast;
+  flat_slow.exec.coefficients = {4.0};
+  const EqualTimeResult r = solve_equal_time(
+      std::vector<fit::PerfModel>{flat_fast, flat_slow});
+  ASSERT_TRUE(r.ok);
+  EXPECT_GT(r.fractions[0], r.fractions[1]);
+  EXPECT_NEAR(r.fractions[0] + r.fractions[1], 1.0, 1e-9);
+}
+
+TEST(EqualTime, NonMonotoneCurveHandledViaEnvelope) {
+  // Slightly non-monotone fitted curve (negative ln-coefficient dip).
+  fit::PerfModel wobbly;
+  wobbly.exec.terms = {fit::BasisFn::kOne, fit::BasisFn::kX,
+                       fit::BasisFn::kLnX};
+  wobbly.exec.coefficients = {0.5, 2.0, 0.02};
+  const EqualTimeResult r = solve_equal_time(
+      std::vector<fit::PerfModel>{wobbly, affine_model(0.0, 1.0)});
+  ASSERT_TRUE(r.ok);
+  EXPECT_NEAR(r.fractions[0] + r.fractions[1], 1.0, 1e-9);
+  EXPECT_GT(r.fractions[1], r.fractions[0]);  // the affine unit is faster
+}
+
+// ---- Block selection (interior point + fallback) --------------------------
+
+TEST(BlockSelection, MatchesAnalyticOnAffineCurves) {
+  std::vector<fit::PerfModel> models{affine_model(0.01, 1.0, 0.3, 0.001),
+                                     affine_model(0.02, 4.0, 0.3, 0.002),
+                                     affine_model(0.005, 9.0, 0.3, 0.001)};
+  const BlockSelection ip = select_block_sizes(models);
+  ASSERT_TRUE(ip.ok);
+  EXPECT_FALSE(ip.used_fallback);
+
+  EqualTimeOptions eq_opts;
+  const EqualTimeResult eq = solve_equal_time(models, eq_opts);
+  ASSERT_TRUE(eq.ok);
+  for (std::size_t g = 0; g < models.size(); ++g)
+    EXPECT_NEAR(ip.fractions[g], eq.fractions[g], 0.02)
+        << "unit " << g;
+}
+
+TEST(BlockSelection, FractionsSumToTarget) {
+  std::vector<fit::PerfModel> models{affine_model(0.0, 1.0),
+                                     affine_model(0.0, 2.0),
+                                     affine_model(0.0, 3.0),
+                                     affine_model(0.0, 4.0)};
+  BlockSelectionOptions opts;
+  opts.total_fraction = 0.25;
+  const BlockSelection sel = select_block_sizes(models, opts);
+  ASSERT_TRUE(sel.ok);
+  const double sum =
+      std::accumulate(sel.fractions.begin(), sel.fractions.end(), 0.0);
+  EXPECT_NEAR(sum, 0.25, 1e-9);
+}
+
+TEST(BlockSelection, EqualTimesAchieved) {
+  std::vector<fit::PerfModel> models{affine_model(0.03, 2.0, 0.2, 0.01),
+                                     affine_model(0.01, 7.0, 0.2, 0.0),
+                                     affine_model(0.02, 3.5, 0.2, 0.005)};
+  const BlockSelection sel = select_block_sizes(models);
+  ASSERT_TRUE(sel.ok);
+  const double t0 = models[0].total_time(sel.fractions[0]);
+  for (std::size_t g = 1; g < models.size(); ++g)
+    EXPECT_NEAR(models[g].total_time(sel.fractions[g]), t0, 0.03 * t0);
+}
+
+TEST(BlockSelection, NonlinearCurvesSolved) {
+  fit::PerfModel gpu;  // saturating-ish: ln term
+  gpu.exec.terms = {fit::BasisFn::kOne, fit::BasisFn::kX, fit::BasisFn::kXLnX};
+  gpu.exec.coefficients = {0.01, 1.2, 0.15};
+  gpu.transfer = {0.4, 0.001};
+  const BlockSelection sel = select_block_sizes(
+      std::vector<fit::PerfModel>{gpu, affine_model(0.02, 6.0, 0.4, 0.001)});
+  ASSERT_TRUE(sel.ok);
+  const double t0 = gpu.total_time(sel.fractions[0]);
+  const double t1 =
+      affine_model(0.02, 6.0, 0.4, 0.001).total_time(sel.fractions[1]);
+  EXPECT_NEAR(t1, t0, 0.05 * t0);
+}
+
+TEST(BlockSelection, SingleUnit) {
+  std::vector<fit::PerfModel> models{affine_model(0.0, 1.0)};
+  const BlockSelection sel = select_block_sizes(models);
+  ASSERT_TRUE(sel.ok);
+  EXPECT_DOUBLE_EQ(sel.fractions[0], 1.0);
+}
+
+TEST(BlockSelection, FlatModelGetsMinimumShare) {
+  fit::PerfModel flat;
+  flat.exec.terms = {fit::BasisFn::kOne};
+  flat.exec.coefficients = {5.0};
+  std::vector<fit::PerfModel> models{affine_model(0.0, 1.0),
+                                     affine_model(0.0, 2.0), flat};
+  const BlockSelection sel = select_block_sizes(models);
+  ASSERT_TRUE(sel.ok);
+  EXPECT_LE(sel.fractions[2], 1e-5);
+  EXPECT_NEAR(
+      std::accumulate(sel.fractions.begin(), sel.fractions.end(), 0.0), 1.0,
+      1e-6);
+}
+
+TEST(BlockSelection, ManyUnitsScale) {
+  Rng rng(3);
+  std::vector<fit::PerfModel> models;
+  for (int i = 0; i < 16; ++i)
+    models.push_back(affine_model(rng.uniform(0.0, 0.05),
+                                  rng.uniform(0.5, 10.0), 0.3, 0.001));
+  const BlockSelection sel = select_block_sizes(models);
+  ASSERT_TRUE(sel.ok);
+  const double t0 = models[0].total_time(sel.fractions[0]);
+  for (std::size_t g = 1; g < models.size(); ++g)
+    EXPECT_NEAR(models[g].total_time(sel.fractions[g]), t0, 0.05 * t0);
+}
+
+TEST(BlockSelection, ReportsSolveTime) {
+  std::vector<fit::PerfModel> models{affine_model(0.0, 1.0),
+                                     affine_model(0.0, 2.0)};
+  const BlockSelection sel = select_block_sizes(models);
+  ASSERT_TRUE(sel.ok);
+  EXPECT_GE(sel.solve_seconds, 0.0);
+  EXPECT_LT(sel.solve_seconds, 5.0);
+}
+
+// ---- Grain rounding --------------------------------------------------------
+
+TEST(RoundToGrains, ExactSum) {
+  std::vector<double> fr{0.3, 0.3, 0.4};
+  const auto g = round_to_grains(fr, 10);
+  EXPECT_EQ(std::accumulate(g.begin(), g.end(), std::size_t{0}), 10u);
+  EXPECT_EQ(g[2], 4u);
+}
+
+TEST(RoundToGrains, LargestRemainderWins) {
+  std::vector<double> fr{0.55, 0.45};
+  const auto g = round_to_grains(fr, 3);
+  EXPECT_EQ(g[0] + g[1], 3u);
+  EXPECT_GE(g[0], g[1]);
+}
+
+TEST(RoundToGrains, UnnormalizedInputAccepted) {
+  std::vector<double> fr{1.0, 3.0};  // sums to 4, treated as shares
+  const auto g = round_to_grains(fr, 8);
+  EXPECT_EQ(g[0], 2u);
+  EXPECT_EQ(g[1], 6u);
+}
+
+TEST(RoundToGrains, ZeroTotal) {
+  std::vector<double> fr{0.5, 0.5};
+  const auto g = round_to_grains(fr, 0);
+  EXPECT_EQ(g[0] + g[1], 0u);
+}
+
+class RoundingProperty : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(RoundingProperty, AlwaysSumsAndStaysClose) {
+  const std::size_t total = GetParam();
+  Rng rng(total);
+  std::vector<double> fr(7);
+  double sum = 0.0;
+  for (auto& f : fr) {
+    f = rng.uniform(0.01, 1.0);
+    sum += f;
+  }
+  for (auto& f : fr) f /= sum;
+  const auto g = round_to_grains(fr, total);
+  EXPECT_EQ(std::accumulate(g.begin(), g.end(), std::size_t{0}), total);
+  for (std::size_t i = 0; i < fr.size(); ++i)
+    EXPECT_NEAR(static_cast<double>(g[i]),
+                fr[i] * static_cast<double>(total), 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Totals, RoundingProperty,
+                         ::testing::Values(1, 7, 100, 1023, 65536));
+
+}  // namespace
+}  // namespace plbhec::solver
