@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_basis.dir/abl_basis.cpp.o"
+  "CMakeFiles/bench_abl_basis.dir/abl_basis.cpp.o.d"
+  "abl_basis"
+  "abl_basis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_basis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_initial_block.dir/abl_initial_block.cpp.o"
+  "CMakeFiles/bench_abl_initial_block.dir/abl_initial_block.cpp.o.d"
+  "abl_initial_block"
+  "abl_initial_block.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_initial_block.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

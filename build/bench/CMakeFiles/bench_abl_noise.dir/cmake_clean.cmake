@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_noise.dir/abl_noise.cpp.o"
+  "CMakeFiles/bench_abl_noise.dir/abl_noise.cpp.o.d"
+  "abl_noise"
+  "abl_noise.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_noise.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

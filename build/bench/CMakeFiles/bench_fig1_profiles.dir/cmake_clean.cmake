@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_profiles.dir/fig1_profiles.cpp.o"
+  "CMakeFiles/bench_fig1_profiles.dir/fig1_profiles.cpp.o.d"
+  "fig1_profiles"
+  "fig1_profiles.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_profiles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

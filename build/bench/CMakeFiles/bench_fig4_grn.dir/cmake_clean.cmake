@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_grn.dir/fig4_grn.cpp.o"
+  "CMakeFiles/bench_fig4_grn.dir/fig4_grn.cpp.o.d"
+  "fig4_grn"
+  "fig4_grn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_grn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_matmul.dir/fig4_matmul.cpp.o"
+  "CMakeFiles/bench_fig4_matmul.dir/fig4_matmul.cpp.o.d"
+  "fig4_matmul"
+  "fig4_matmul.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_matmul.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

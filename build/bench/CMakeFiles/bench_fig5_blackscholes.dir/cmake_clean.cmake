@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_blackscholes.dir/fig5_blackscholes.cpp.o"
+  "CMakeFiles/bench_fig5_blackscholes.dir/fig5_blackscholes.cpp.o.d"
+  "fig5_blackscholes"
+  "fig5_blackscholes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_blackscholes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

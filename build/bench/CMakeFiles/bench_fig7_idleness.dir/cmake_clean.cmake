@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_idleness.dir/fig7_idleness.cpp.o"
+  "CMakeFiles/bench_fig7_idleness.dir/fig7_idleness.cpp.o.d"
+  "fig7_idleness"
+  "fig7_idleness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_idleness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/tab_overhead.cpp" "bench/CMakeFiles/bench_tab_overhead.dir/tab_overhead.cpp.o" "gcc" "bench/CMakeFiles/bench_tab_overhead.dir/tab_overhead.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/plbhec_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/plbhec_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/plbhec_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/plbhec_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/plbhec_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/plbhec_rt.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/plbhec_fit.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/plbhec_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/plbhec_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/plbhec_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_blackscholes_portfolio.dir/blackscholes_portfolio.cpp.o"
+  "CMakeFiles/example_blackscholes_portfolio.dir/blackscholes_portfolio.cpp.o.d"
+  "blackscholes_portfolio"
+  "blackscholes_portfolio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_blackscholes_portfolio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_grn_inference.dir/grn_inference.cpp.o"
+  "CMakeFiles/example_grn_inference.dir/grn_inference.cpp.o.d"
+  "grn_inference"
+  "grn_inference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_grn_inference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_matmul_cluster.dir/matmul_cluster.cpp.o"
+  "CMakeFiles/example_matmul_cluster.dir/matmul_cluster.cpp.o.d"
+  "matmul_cluster"
+  "matmul_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_matmul_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

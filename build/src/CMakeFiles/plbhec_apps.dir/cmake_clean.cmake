@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plbhec_apps.dir/plbhec/apps/blackscholes.cpp.o"
+  "CMakeFiles/plbhec_apps.dir/plbhec/apps/blackscholes.cpp.o.d"
+  "CMakeFiles/plbhec_apps.dir/plbhec/apps/grn.cpp.o"
+  "CMakeFiles/plbhec_apps.dir/plbhec/apps/grn.cpp.o.d"
+  "CMakeFiles/plbhec_apps.dir/plbhec/apps/matmul.cpp.o"
+  "CMakeFiles/plbhec_apps.dir/plbhec/apps/matmul.cpp.o.d"
+  "CMakeFiles/plbhec_apps.dir/plbhec/apps/synthetic.cpp.o"
+  "CMakeFiles/plbhec_apps.dir/plbhec/apps/synthetic.cpp.o.d"
+  "libplbhec_apps.a"
+  "libplbhec_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plbhec_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

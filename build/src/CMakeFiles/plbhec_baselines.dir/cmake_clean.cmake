@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plbhec_baselines.dir/plbhec/baselines/acosta.cpp.o"
+  "CMakeFiles/plbhec_baselines.dir/plbhec/baselines/acosta.cpp.o.d"
+  "CMakeFiles/plbhec_baselines.dir/plbhec/baselines/hdss.cpp.o"
+  "CMakeFiles/plbhec_baselines.dir/plbhec/baselines/hdss.cpp.o.d"
+  "CMakeFiles/plbhec_baselines.dir/plbhec/baselines/static_profile.cpp.o"
+  "CMakeFiles/plbhec_baselines.dir/plbhec/baselines/static_profile.cpp.o.d"
+  "libplbhec_baselines.a"
+  "libplbhec_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plbhec_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/plbhec/common/cli.cpp" "src/CMakeFiles/plbhec_common.dir/plbhec/common/cli.cpp.o" "gcc" "src/CMakeFiles/plbhec_common.dir/plbhec/common/cli.cpp.o.d"
+  "/root/repo/src/plbhec/common/csv.cpp" "src/CMakeFiles/plbhec_common.dir/plbhec/common/csv.cpp.o" "gcc" "src/CMakeFiles/plbhec_common.dir/plbhec/common/csv.cpp.o.d"
+  "/root/repo/src/plbhec/common/rng.cpp" "src/CMakeFiles/plbhec_common.dir/plbhec/common/rng.cpp.o" "gcc" "src/CMakeFiles/plbhec_common.dir/plbhec/common/rng.cpp.o.d"
+  "/root/repo/src/plbhec/common/stats.cpp" "src/CMakeFiles/plbhec_common.dir/plbhec/common/stats.cpp.o" "gcc" "src/CMakeFiles/plbhec_common.dir/plbhec/common/stats.cpp.o.d"
+  "/root/repo/src/plbhec/common/table.cpp" "src/CMakeFiles/plbhec_common.dir/plbhec/common/table.cpp.o" "gcc" "src/CMakeFiles/plbhec_common.dir/plbhec/common/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plbhec_common.dir/plbhec/common/cli.cpp.o"
+  "CMakeFiles/plbhec_common.dir/plbhec/common/cli.cpp.o.d"
+  "CMakeFiles/plbhec_common.dir/plbhec/common/csv.cpp.o"
+  "CMakeFiles/plbhec_common.dir/plbhec/common/csv.cpp.o.d"
+  "CMakeFiles/plbhec_common.dir/plbhec/common/rng.cpp.o"
+  "CMakeFiles/plbhec_common.dir/plbhec/common/rng.cpp.o.d"
+  "CMakeFiles/plbhec_common.dir/plbhec/common/stats.cpp.o"
+  "CMakeFiles/plbhec_common.dir/plbhec/common/stats.cpp.o.d"
+  "CMakeFiles/plbhec_common.dir/plbhec/common/table.cpp.o"
+  "CMakeFiles/plbhec_common.dir/plbhec/common/table.cpp.o.d"
+  "libplbhec_common.a"
+  "libplbhec_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plbhec_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

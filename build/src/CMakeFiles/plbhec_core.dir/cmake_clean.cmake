@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plbhec_core.dir/plbhec/core/plb_hec.cpp.o"
+  "CMakeFiles/plbhec_core.dir/plbhec/core/plb_hec.cpp.o.d"
+  "libplbhec_core.a"
+  "libplbhec_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plbhec_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

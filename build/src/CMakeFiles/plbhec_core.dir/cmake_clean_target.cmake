@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libplbhec_core.a"
+)

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plbhec_fit.dir/plbhec/fit/basis.cpp.o"
+  "CMakeFiles/plbhec_fit.dir/plbhec/fit/basis.cpp.o.d"
+  "CMakeFiles/plbhec_fit.dir/plbhec/fit/least_squares.cpp.o"
+  "CMakeFiles/plbhec_fit.dir/plbhec/fit/least_squares.cpp.o.d"
+  "CMakeFiles/plbhec_fit.dir/plbhec/fit/model.cpp.o"
+  "CMakeFiles/plbhec_fit.dir/plbhec/fit/model.cpp.o.d"
+  "libplbhec_fit.a"
+  "libplbhec_fit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plbhec_fit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

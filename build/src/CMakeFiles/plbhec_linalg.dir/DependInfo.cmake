@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/plbhec/linalg/blas.cpp" "src/CMakeFiles/plbhec_linalg.dir/plbhec/linalg/blas.cpp.o" "gcc" "src/CMakeFiles/plbhec_linalg.dir/plbhec/linalg/blas.cpp.o.d"
+  "/root/repo/src/plbhec/linalg/cholesky.cpp" "src/CMakeFiles/plbhec_linalg.dir/plbhec/linalg/cholesky.cpp.o" "gcc" "src/CMakeFiles/plbhec_linalg.dir/plbhec/linalg/cholesky.cpp.o.d"
+  "/root/repo/src/plbhec/linalg/lu.cpp" "src/CMakeFiles/plbhec_linalg.dir/plbhec/linalg/lu.cpp.o" "gcc" "src/CMakeFiles/plbhec_linalg.dir/plbhec/linalg/lu.cpp.o.d"
+  "/root/repo/src/plbhec/linalg/matrix.cpp" "src/CMakeFiles/plbhec_linalg.dir/plbhec/linalg/matrix.cpp.o" "gcc" "src/CMakeFiles/plbhec_linalg.dir/plbhec/linalg/matrix.cpp.o.d"
+  "/root/repo/src/plbhec/linalg/qr.cpp" "src/CMakeFiles/plbhec_linalg.dir/plbhec/linalg/qr.cpp.o" "gcc" "src/CMakeFiles/plbhec_linalg.dir/plbhec/linalg/qr.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/plbhec_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

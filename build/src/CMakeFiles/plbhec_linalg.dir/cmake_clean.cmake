@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plbhec_linalg.dir/plbhec/linalg/blas.cpp.o"
+  "CMakeFiles/plbhec_linalg.dir/plbhec/linalg/blas.cpp.o.d"
+  "CMakeFiles/plbhec_linalg.dir/plbhec/linalg/cholesky.cpp.o"
+  "CMakeFiles/plbhec_linalg.dir/plbhec/linalg/cholesky.cpp.o.d"
+  "CMakeFiles/plbhec_linalg.dir/plbhec/linalg/lu.cpp.o"
+  "CMakeFiles/plbhec_linalg.dir/plbhec/linalg/lu.cpp.o.d"
+  "CMakeFiles/plbhec_linalg.dir/plbhec/linalg/matrix.cpp.o"
+  "CMakeFiles/plbhec_linalg.dir/plbhec/linalg/matrix.cpp.o.d"
+  "CMakeFiles/plbhec_linalg.dir/plbhec/linalg/qr.cpp.o"
+  "CMakeFiles/plbhec_linalg.dir/plbhec/linalg/qr.cpp.o.d"
+  "libplbhec_linalg.a"
+  "libplbhec_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plbhec_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plbhec_metrics.dir/plbhec/metrics/metrics.cpp.o"
+  "CMakeFiles/plbhec_metrics.dir/plbhec/metrics/metrics.cpp.o.d"
+  "libplbhec_metrics.a"
+  "libplbhec_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plbhec_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/plbhec/rt/engine.cpp" "src/CMakeFiles/plbhec_rt.dir/plbhec/rt/engine.cpp.o" "gcc" "src/CMakeFiles/plbhec_rt.dir/plbhec/rt/engine.cpp.o.d"
+  "/root/repo/src/plbhec/rt/profile_db.cpp" "src/CMakeFiles/plbhec_rt.dir/plbhec/rt/profile_db.cpp.o" "gcc" "src/CMakeFiles/plbhec_rt.dir/plbhec/rt/profile_db.cpp.o.d"
+  "/root/repo/src/plbhec/rt/scheduler.cpp" "src/CMakeFiles/plbhec_rt.dir/plbhec/rt/scheduler.cpp.o" "gcc" "src/CMakeFiles/plbhec_rt.dir/plbhec/rt/scheduler.cpp.o.d"
+  "/root/repo/src/plbhec/rt/thread_engine.cpp" "src/CMakeFiles/plbhec_rt.dir/plbhec/rt/thread_engine.cpp.o" "gcc" "src/CMakeFiles/plbhec_rt.dir/plbhec/rt/thread_engine.cpp.o.d"
+  "/root/repo/src/plbhec/rt/trace.cpp" "src/CMakeFiles/plbhec_rt.dir/plbhec/rt/trace.cpp.o" "gcc" "src/CMakeFiles/plbhec_rt.dir/plbhec/rt/trace.cpp.o.d"
+  "/root/repo/src/plbhec/rt/workload.cpp" "src/CMakeFiles/plbhec_rt.dir/plbhec/rt/workload.cpp.o" "gcc" "src/CMakeFiles/plbhec_rt.dir/plbhec/rt/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/plbhec_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/plbhec_fit.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/plbhec_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/plbhec_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plbhec_rt.dir/plbhec/rt/engine.cpp.o"
+  "CMakeFiles/plbhec_rt.dir/plbhec/rt/engine.cpp.o.d"
+  "CMakeFiles/plbhec_rt.dir/plbhec/rt/profile_db.cpp.o"
+  "CMakeFiles/plbhec_rt.dir/plbhec/rt/profile_db.cpp.o.d"
+  "CMakeFiles/plbhec_rt.dir/plbhec/rt/scheduler.cpp.o"
+  "CMakeFiles/plbhec_rt.dir/plbhec/rt/scheduler.cpp.o.d"
+  "CMakeFiles/plbhec_rt.dir/plbhec/rt/thread_engine.cpp.o"
+  "CMakeFiles/plbhec_rt.dir/plbhec/rt/thread_engine.cpp.o.d"
+  "CMakeFiles/plbhec_rt.dir/plbhec/rt/trace.cpp.o"
+  "CMakeFiles/plbhec_rt.dir/plbhec/rt/trace.cpp.o.d"
+  "CMakeFiles/plbhec_rt.dir/plbhec/rt/workload.cpp.o"
+  "CMakeFiles/plbhec_rt.dir/plbhec/rt/workload.cpp.o.d"
+  "libplbhec_rt.a"
+  "libplbhec_rt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plbhec_rt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

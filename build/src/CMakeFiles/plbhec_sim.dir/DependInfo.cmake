@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/plbhec/sim/cluster.cpp" "src/CMakeFiles/plbhec_sim.dir/plbhec/sim/cluster.cpp.o" "gcc" "src/CMakeFiles/plbhec_sim.dir/plbhec/sim/cluster.cpp.o.d"
+  "/root/repo/src/plbhec/sim/device.cpp" "src/CMakeFiles/plbhec_sim.dir/plbhec/sim/device.cpp.o" "gcc" "src/CMakeFiles/plbhec_sim.dir/plbhec/sim/device.cpp.o.d"
+  "/root/repo/src/plbhec/sim/machine.cpp" "src/CMakeFiles/plbhec_sim.dir/plbhec/sim/machine.cpp.o" "gcc" "src/CMakeFiles/plbhec_sim.dir/plbhec/sim/machine.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/plbhec_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

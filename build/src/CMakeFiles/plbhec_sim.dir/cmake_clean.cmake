@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plbhec_sim.dir/plbhec/sim/cluster.cpp.o"
+  "CMakeFiles/plbhec_sim.dir/plbhec/sim/cluster.cpp.o.d"
+  "CMakeFiles/plbhec_sim.dir/plbhec/sim/device.cpp.o"
+  "CMakeFiles/plbhec_sim.dir/plbhec/sim/device.cpp.o.d"
+  "CMakeFiles/plbhec_sim.dir/plbhec/sim/machine.cpp.o"
+  "CMakeFiles/plbhec_sim.dir/plbhec/sim/machine.cpp.o.d"
+  "libplbhec_sim.a"
+  "libplbhec_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plbhec_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

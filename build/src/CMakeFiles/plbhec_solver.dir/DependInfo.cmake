@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/plbhec/solver/block_selection.cpp" "src/CMakeFiles/plbhec_solver.dir/plbhec/solver/block_selection.cpp.o" "gcc" "src/CMakeFiles/plbhec_solver.dir/plbhec/solver/block_selection.cpp.o.d"
+  "/root/repo/src/plbhec/solver/equal_time.cpp" "src/CMakeFiles/plbhec_solver.dir/plbhec/solver/equal_time.cpp.o" "gcc" "src/CMakeFiles/plbhec_solver.dir/plbhec/solver/equal_time.cpp.o.d"
+  "/root/repo/src/plbhec/solver/interior_point.cpp" "src/CMakeFiles/plbhec_solver.dir/plbhec/solver/interior_point.cpp.o" "gcc" "src/CMakeFiles/plbhec_solver.dir/plbhec/solver/interior_point.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/plbhec_fit.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/plbhec_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/plbhec_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

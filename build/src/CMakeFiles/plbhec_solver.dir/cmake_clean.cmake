@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plbhec_solver.dir/plbhec/solver/block_selection.cpp.o"
+  "CMakeFiles/plbhec_solver.dir/plbhec/solver/block_selection.cpp.o.d"
+  "CMakeFiles/plbhec_solver.dir/plbhec/solver/equal_time.cpp.o"
+  "CMakeFiles/plbhec_solver.dir/plbhec/solver/equal_time.cpp.o.d"
+  "CMakeFiles/plbhec_solver.dir/plbhec/solver/interior_point.cpp.o"
+  "CMakeFiles/plbhec_solver.dir/plbhec/solver/interior_point.cpp.o.d"
+  "libplbhec_solver.a"
+  "libplbhec_solver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plbhec_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
