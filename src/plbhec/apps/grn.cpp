@@ -5,6 +5,7 @@
 
 #include "plbhec/common/contracts.hpp"
 #include "plbhec/common/rng.hpp"
+#include "plbhec/exec/thread_pool.hpp"
 
 namespace plbhec::apps {
 
@@ -88,21 +89,25 @@ double GrnWorkload::conditional_entropy(std::size_t gene_a,
 void GrnWorkload::execute_cpu(std::size_t begin, std::size_t end) {
   PLBHEC_EXPECTS(config_.materialize);
   PLBHEC_EXPECTS(begin <= end && end <= config_.genes);
-  for (std::size_t g = begin; g < end; ++g) {
-    float best = std::numeric_limits<float>::infinity();
-    std::uint32_t best_partner = 0;
-    for (std::size_t k = 1; k <= config_.pair_window; ++k) {
-      const std::size_t partner = (g + k) % config_.genes;
-      if (partner == g) continue;
-      const auto h = static_cast<float>(conditional_entropy(g, partner));
-      if (h < best) {
-        best = h;
-        best_partner = static_cast<std::uint32_t>(partner);
+  // Genes are independent (per-gene writes only), so the pair search fans
+  // out over the shared pool; each gene costs pair_window * samples work.
+  exec::parallel_for(begin, end, 4, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t g = lo; g < hi; ++g) {
+      float best = std::numeric_limits<float>::infinity();
+      std::uint32_t best_partner = 0;
+      for (std::size_t k = 1; k <= config_.pair_window; ++k) {
+        const std::size_t partner = (g + k) % config_.genes;
+        if (partner == g) continue;
+        const auto h = static_cast<float>(conditional_entropy(g, partner));
+        if (h < best) {
+          best = h;
+          best_partner = static_cast<std::uint32_t>(partner);
+        }
       }
+      scores_[g] = best;
+      best_partner_[g] = best_partner;
     }
-    scores_[g] = best;
-    best_partner_[g] = best_partner;
-  }
+  });
 }
 
 }  // namespace plbhec::apps

@@ -2,6 +2,7 @@
 
 #include "plbhec/common/contracts.hpp"
 #include "plbhec/common/rng.hpp"
+#include "plbhec/exec/thread_pool.hpp"
 #include "plbhec/linalg/blas.hpp"
 
 namespace plbhec::apps {
@@ -49,9 +50,12 @@ void MatMulWorkload::execute_cpu(std::size_t begin, std::size_t end) {
   PLBHEC_EXPECTS(materialized_);
   PLBHEC_EXPECTS(begin <= end && end <= n_);
   if (begin == end) return;
-  linalg::blas::gemm(end - begin, n_, n_,
-                     {a_.data() + begin * n_, (end - begin) * n_}, b_,
-                     {c_.data() + begin * n_, (end - begin) * n_});
+  // Row panels of this block fan out over the shared persistent pool (the
+  // pool runs the caller inline when it has no spare workers).
+  linalg::blas::gemm_parallel(end - begin, n_, n_,
+                              {a_.data() + begin * n_, (end - begin) * n_}, b_,
+                              {c_.data() + begin * n_, (end - begin) * n_},
+                              exec::ThreadPool::global().concurrency());
 }
 
 }  // namespace plbhec::apps

@@ -43,6 +43,7 @@ void PlbHecScheduler::start(const std::vector<rt::UnitInfo>& units,
   threshold_strikes_.assign(units.size(), 0);
   issued_grains_ = 0;
   generation_ = 0;
+  cold_kkt_solves_ = 0;
   issue_gen_.assign(units.size(), 0);
   grains_consumed_ = 0.0;
   stats_ = {};
@@ -290,11 +291,32 @@ void PlbHecScheduler::fit_and_select() {
   // actually issued, and window-level shares stay within the probed range.
   solver::BlockSelectionOptions sel_opt = options_.selection;
   sel_opt.total_fraction = options_.step_fraction;
+  // Re-solves (§III-D rebalances, refinements, failure redistribution)
+  // start from the previous selection instead of re-deriving the analytic
+  // equal-time point: the observations only perturbed the optimum.
+  if (!stats_.fraction_history.empty()) {
+    double prev_sum = 0.0;
+    for (rt::UnitId u : alive_ids) prev_sum += fractions_[u];
+    if (prev_sum > 0.0) {
+      sel_opt.warm_start.reserve(alive_ids.size());
+      for (rt::UnitId u : alive_ids)
+        sel_opt.warm_start.push_back(fractions_[u] / prev_sum *
+                                     options_.step_fraction);
+    }
+  }
   const solver::BlockSelection sel =
       solver::select_block_sizes(alive_models, sel_opt);
   ++stats_.solves;
   stats_.solve_seconds.push_back(sel.solve_seconds);
   if (sel.used_fallback) ++stats_.fallback_solves;
+  stats_.kkt_solves += sel.ip.kkt_solves;
+  if (sel.warm_started) {
+    ++stats_.warm_solves;
+    if (cold_kkt_solves_ > sel.ip.kkt_solves)
+      stats_.kkt_solves_saved += cold_kkt_solves_ - sel.ip.kkt_solves;
+  } else if (sel.ip.kkt_solves > 0) {
+    cold_kkt_solves_ = sel.ip.kkt_solves;
+  }
 
   fractions_.assign(units_.size(), 0.0);
   if (sel.ok) {

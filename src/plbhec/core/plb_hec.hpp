@@ -77,6 +77,11 @@ struct PlbHecStats {
   std::size_t refinements = 0;     ///< barrier-free progressive refinements
   std::size_t rebalances = 0;      ///< execution-phase rebalances
   std::size_t fallback_solves = 0; ///< analytic fallback used
+  std::size_t warm_solves = 0;     ///< solves warm-started from the
+                                   ///< previous selection's fractions
+  std::size_t kkt_solves = 0;      ///< KKT factorizations across all solves
+  std::size_t kkt_solves_saved = 0;///< factorizations avoided by warm
+                                   ///< starts, vs. the last cold solve
   std::vector<double> solve_seconds;  ///< wall time per selection
   double modeling_grains = 0.0;    ///< grains consumed by the modeling phase
   std::vector<std::vector<double>> fraction_history;  ///< per selection
@@ -144,6 +149,11 @@ class PlbHecScheduler final : public rt::Scheduler {
   std::vector<std::size_t> threshold_strikes_;  ///< per-unit debounce
   std::size_t issued_grains_ = 0;            ///< grains handed out so far
   std::size_t generation_ = 0;               ///< bumped at every selection
+  std::size_t cold_kkt_solves_ = 0;          ///< KKT count of the last
+                                             ///< cold (analytic-started)
+                                             ///< solve — the baseline the
+                                             ///< warm-start saving is
+                                             ///< measured against
   std::vector<std::size_t> issue_gen_;       ///< generation of the unit's
                                              ///< outstanding block (the
                                              ///< engine keeps at most one

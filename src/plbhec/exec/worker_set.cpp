@@ -1,0 +1,77 @@
+#include "plbhec/exec/worker_set.hpp"
+
+#include <algorithm>
+
+#include "plbhec/common/contracts.hpp"
+
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
+
+namespace plbhec::exec {
+namespace {
+
+void pin_current_thread(std::size_t index) {
+#if defined(__linux__)
+  const unsigned cores = std::max(1u, std::thread::hardware_concurrency());
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(index % cores, &set);
+  // Best effort: pinning can fail inside restricted cgroups; ignore.
+  (void)pthread_setaffinity_np(pthread_self(), sizeof(set), &set);
+#else
+  (void)index;
+#endif
+}
+
+}  // namespace
+
+WorkerSet::WorkerSet(std::size_t n, bool pin) {
+  PLBHEC_EXPECTS(n >= 1);
+  threads_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    threads_.emplace_back([this, i, pin] {
+      if (pin) pin_current_thread(i);
+      worker_loop(i);
+    });
+    ++threads_created_;
+  }
+}
+
+WorkerSet::~WorkerSet() {
+  {
+    std::lock_guard lock(mutex_);
+    stop_ = true;
+  }
+  start_cv_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void WorkerSet::worker_loop(std::size_t index) {
+  std::uint64_t seen = 0;
+  std::unique_lock lock(mutex_);
+  while (true) {
+    start_cv_.wait(lock, [&] { return stop_ || generation_ != seen; });
+    if (stop_) return;
+    seen = generation_;
+    const auto* body = body_;
+    lock.unlock();
+    (*body)(index);
+    lock.lock();
+    if (--running_ == 0) done_cv_.notify_all();
+  }
+}
+
+void WorkerSet::run(const std::function<void(std::size_t)>& body) {
+  std::unique_lock lock(mutex_);
+  PLBHEC_EXPECTS(running_ == 0);  // not reentrant
+  body_ = &body;
+  running_ = threads_.size();
+  ++generation_;
+  start_cv_.notify_all();
+  done_cv_.wait(lock, [&] { return running_ == 0; });
+  body_ = nullptr;
+}
+
+}  // namespace plbhec::exec

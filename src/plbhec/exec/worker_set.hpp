@@ -1,0 +1,57 @@
+#pragma once
+/// \file worker_set.hpp
+/// A fixed crew of persistent, optionally core-pinned threads that repeat
+/// "run body(index) on every worker, wait for all" rounds. ThreadEngine
+/// hosts each processing unit on one of these workers: the threads are
+/// created once per engine, so a run's first probe block — the sample the
+/// paper's Phase-1 model fit leans on hardest — no longer pays OS
+/// thread-creation latency.
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace plbhec::exec {
+
+class WorkerSet {
+ public:
+  /// Spawns `n` persistent workers (n >= 1). With `pin`, worker i is
+  /// best-effort pinned to core i modulo the core count (Linux only).
+  explicit WorkerSet(std::size_t n, bool pin = true);
+  ~WorkerSet();
+  WorkerSet(const WorkerSet&) = delete;
+  WorkerSet& operator=(const WorkerSet&) = delete;
+
+  /// Runs body(i) on worker i for every i in [0, size()), blocking until
+  /// all workers finish. Not reentrant; callable repeatedly.
+  void run(const std::function<void(std::size_t)>& body);
+
+  [[nodiscard]] std::size_t size() const { return threads_.size(); }
+
+  /// Lifetime count of OS threads this set has created. Stays equal to
+  /// size() no matter how many rounds run() executes — the regression
+  /// guard that probe timings exclude thread startup.
+  [[nodiscard]] std::size_t threads_created() const {
+    return threads_created_;
+  }
+
+ private:
+  void worker_loop(std::size_t index);
+
+  std::vector<std::thread> threads_;
+  std::size_t threads_created_ = 0;
+
+  std::mutex mutex_;
+  std::condition_variable start_cv_;
+  std::condition_variable done_cv_;
+  const std::function<void(std::size_t)>* body_ = nullptr;  ///< current round
+  std::uint64_t generation_ = 0;  ///< bumped per round
+  std::size_t running_ = 0;       ///< workers still inside the current round
+  bool stop_ = false;
+};
+
+}  // namespace plbhec::exec

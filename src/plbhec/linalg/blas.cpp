@@ -1,42 +1,10 @@
 #include "plbhec/linalg/blas.hpp"
 
-#include <algorithm>
-#include <thread>
-#include <vector>
-
 #include "plbhec/common/contracts.hpp"
+#include "plbhec/exec/gemm_micro.hpp"
+#include "plbhec/exec/thread_pool.hpp"
 
 namespace plbhec::linalg::blas {
-namespace {
-
-constexpr std::size_t kBlockI = 64;
-constexpr std::size_t kBlockK = 64;
-constexpr std::size_t kBlockJ = 256;
-
-void gemm_rows(std::size_t row_begin, std::size_t row_end, std::size_t n,
-               std::size_t k, std::span<const double> a,
-               std::span<const double> b, std::span<double> c) {
-  for (std::size_t i0 = row_begin; i0 < row_end; i0 += kBlockI) {
-    const std::size_t i1 = std::min(i0 + kBlockI, row_end);
-    for (std::size_t k0 = 0; k0 < k; k0 += kBlockK) {
-      const std::size_t k1 = std::min(k0 + kBlockK, k);
-      for (std::size_t j0 = 0; j0 < n; j0 += kBlockJ) {
-        const std::size_t j1 = std::min(j0 + kBlockJ, n);
-        for (std::size_t i = i0; i < i1; ++i) {
-          double* crow = &c[i * n];
-          for (std::size_t kk = k0; kk < k1; ++kk) {
-            const double aik = a[i * k + kk];
-            if (aik == 0.0) continue;
-            const double* brow = &b[kk * n];
-            for (std::size_t j = j0; j < j1; ++j) crow[j] += aik * brow[j];
-          }
-        }
-      }
-    }
-  }
-}
-
-}  // namespace
 
 void gemm(std::size_t m, std::size_t n, std::size_t k,
           std::span<const double> a, std::span<const double> b,
@@ -44,7 +12,7 @@ void gemm(std::size_t m, std::size_t n, std::size_t k,
   PLBHEC_EXPECTS(a.size() >= m * k);
   PLBHEC_EXPECTS(b.size() >= k * n);
   PLBHEC_EXPECTS(c.size() >= m * n);
-  gemm_rows(0, m, n, k, a, b, c);
+  exec::gemm_packed(m, n, k, a.data(), b.data(), c.data());
 }
 
 void gemm_parallel(std::size_t m, std::size_t n, std::size_t k,
@@ -55,19 +23,11 @@ void gemm_parallel(std::size_t m, std::size_t n, std::size_t k,
   PLBHEC_EXPECTS(b.size() >= k * n);
   PLBHEC_EXPECTS(c.size() >= m * n);
   if (threads == 1 || m * n * k < 1u << 18) {
-    gemm_rows(0, m, n, k, a, b, c);
+    exec::gemm_packed(m, n, k, a.data(), b.data(), c.data());
     return;
   }
-  const std::size_t chunk = (m + threads - 1) / threads;
-  std::vector<std::thread> pool;
-  pool.reserve(threads);
-  for (unsigned t = 0; t < threads; ++t) {
-    const std::size_t lo = std::min<std::size_t>(t * chunk, m);
-    const std::size_t hi = std::min(lo + chunk, m);
-    if (lo >= hi) break;
-    pool.emplace_back([=] { gemm_rows(lo, hi, n, k, a, b, c); });
-  }
-  for (auto& th : pool) th.join();
+  exec::gemm_packed_parallel(m, n, k, a.data(), b.data(), c.data(),
+                             exec::ThreadPool::global(), threads);
 }
 
 }  // namespace plbhec::linalg::blas

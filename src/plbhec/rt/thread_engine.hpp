@@ -10,9 +10,16 @@
 /// factors (a unit with slowdown 3 spins until the kernel time has been
 /// stretched 3x), which yields genuinely different performance curves for
 /// the balancer to learn.
+///
+/// Each unit is hosted on a persistent, pinned worker thread created when
+/// the engine is constructed and reused across run() calls, so the probe
+/// blocks of the modeling phase never include OS thread-creation latency
+/// in the F_p(x) samples the least-squares fit learns from.
 
+#include <memory>
 #include <vector>
 
+#include "plbhec/exec/worker_set.hpp"
 #include "plbhec/rt/engine.hpp"  // RunResult, UnitStats
 
 namespace plbhec::rt {
@@ -24,21 +31,31 @@ struct ThreadEngineOptions {
   bool emulate_transfer = true;
   /// Abort when this many consecutive barriers make no progress.
   std::size_t max_stuck_barriers = 3;
+  /// Best-effort pin each unit's worker to a core (Linux only).
+  bool pin_workers = true;
 };
 
 class ThreadEngine {
  public:
   explicit ThreadEngine(ThreadEngineOptions options = {});
 
-  /// Runs the workload with real threads; requires
+  /// Runs the workload on the persistent unit workers; requires
   /// workload.supports_real_execution().
   [[nodiscard]] RunResult run(Workload& workload, Scheduler& scheduler);
 
   [[nodiscard]] const std::vector<UnitInfo>& units() const { return units_; }
 
+  /// Lifetime count of OS threads backing the units — stays at the unit
+  /// count however many runs execute (thread startup is paid once, in the
+  /// constructor, never inside a probe).
+  [[nodiscard]] std::size_t worker_threads_created() const {
+    return workers_->threads_created();
+  }
+
  private:
   ThreadEngineOptions options_;
   std::vector<UnitInfo> units_;
+  std::unique_ptr<exec::WorkerSet> workers_;
 };
 
 }  // namespace plbhec::rt

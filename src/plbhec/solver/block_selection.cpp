@@ -147,6 +147,12 @@ BlockSelection select_block_sizes(std::span<const fit::PerfModel> models,
       return out;
     }
     BlockSelectionOptions sub_opt = opt;
+    sub_opt.warm_start.clear();
+    if (opt.warm_start.size() == n) {
+      // Project the warm start onto the informative subset.
+      for (std::size_t idx : informative)
+        sub_opt.warm_start.push_back(opt.warm_start[idx]);
+    }
     const BlockSelection sub =
         select_block_sizes(informative_models, sub_opt);
     if (!sub.ok) return out;
@@ -162,14 +168,36 @@ BlockSelection select_block_sizes(std::span<const fit::PerfModel> models,
     return out;
   }
 
-  // Warm start from the analytic equal-time split; if that degenerates,
-  // start from the uniform split.
+  // Starting point, in priority order: the caller's warm start (the
+  // previous selection's fractions, §III-D rebalances only perturb them),
+  // else the analytic equal-time split, else the uniform split. The
+  // analytic system is solved lazily — a usable warm start skips it
+  // entirely and only a failed NLP brings it back for the fallback.
   EqualTimeOptions eq_opt;
   eq_opt.x_min = opt.x_min;
   eq_opt.target = target;
-  const EqualTimeResult warm = solve_equal_time(models, eq_opt);
+  EqualTimeResult warm;
+  bool warm_computed = false;
+
   std::vector<double> x0(n, target / static_cast<double>(n));
-  if (warm.ok) x0 = warm.fractions;
+  bool warm_usable = opt.warm_start.size() == n;
+  double warm_sum = 0.0;
+  for (std::size_t g = 0; warm_usable && g < n; ++g) {
+    if (!std::isfinite(opt.warm_start[g]) || opt.warm_start[g] <= 0.0)
+      warm_usable = false;
+    else
+      warm_sum += opt.warm_start[g];
+  }
+  if (warm_usable && warm_sum > 0.0) {
+    for (std::size_t g = 0; g < n; ++g)
+      x0[g] = std::clamp(opt.warm_start[g] * target / warm_sum, opt.x_min,
+                         target);
+    out.warm_started = true;
+  } else {
+    warm = solve_equal_time(models, eq_opt);
+    warm_computed = true;
+    if (warm.ok) x0 = warm.fractions;
+  }
 
   EqualTimeNlp nlp(models, opt.x_min, target);
   out.ip = solve_interior_point(nlp, x0, opt.ip);
@@ -190,10 +218,18 @@ BlockSelection select_block_sizes(std::span<const fit::PerfModel> models,
     for (double& f : out.fractions) f *= target / sum;
     out.ok = true;
     out.used_fallback = false;
-  } else if (opt.allow_fallback && warm.ok) {
-    out.fractions = warm.fractions;
-    out.ok = true;
-    out.used_fallback = true;
+  } else if (opt.allow_fallback) {
+    if (!warm_computed) {
+      warm = solve_equal_time(models, eq_opt);
+      warm_computed = true;
+    }
+    if (warm.ok) {
+      out.fractions = warm.fractions;
+      out.ok = true;
+      out.used_fallback = true;
+    } else {
+      out.ok = false;
+    }
   } else {
     out.ok = false;
   }

@@ -24,6 +24,14 @@ struct BlockSelectionOptions {
   double total_fraction = 1.0;
   IpOptions ip;          ///< interior-point configuration
   bool allow_fallback = true;  ///< fall back to the analytic solver on failure
+  /// Optional warm start: the previous selection's window-level fractions
+  /// (one per model, in the same order). When its size matches, the
+  /// interior-point solve starts here instead of re-deriving a starting
+  /// point from the analytic equal-time system — a §III-D rebalance only
+  /// perturbs the previous optimum, so the Newton iteration typically
+  /// needs far fewer KKT factorizations. Ignored if the size mismatches
+  /// or the entries are degenerate; the analytic path is then used.
+  std::vector<double> warm_start;
 };
 
 struct BlockSelection {
@@ -31,6 +39,7 @@ struct BlockSelection {
   std::vector<double> fractions;  ///< x_g, sums to 1
   double predicted_time = 0.0;    ///< max_g E_g(x_g) under the models
   bool used_fallback = false;     ///< analytic path was used
+  bool warm_started = false;      ///< x0 came from options.warm_start
   IpResult ip;                    ///< interior-point diagnostics
   double solve_seconds = 0.0;     ///< wall-clock time of the selection
 };

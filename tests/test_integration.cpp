@@ -273,6 +273,27 @@ TEST(RealExecution, PlbHecSchedulesRealBlackScholes) {
     EXPECT_NEAR(p.call - p.put, rhs, 1e-9 * std::max(1.0, std::fabs(rhs)));
   }
   EXPECT_GE(plb.stats().solves, 1u);
+  // Warm-start ledger invariants (real timings on a small host can park
+  // flat-fitted units without any KKT solve, so only accounting holds).
+  EXPECT_LE(plb.stats().warm_solves, plb.stats().solves);
+  if (plb.stats().warm_solves == 0) EXPECT_EQ(plb.stats().kkt_solves_saved, 0u);
+}
+
+TEST(RealExecution, RebalancesWarmStartFromPreviousFractions) {
+  // On the simulator the fitted curves are well conditioned, so every
+  // refinement re-solve must reuse the previous fractions as x0 instead
+  // of re-deriving the analytic equal-time point.
+  apps::MatMulWorkload w(16384);
+  sim::SimCluster cluster(sim::scenario(4, true));
+  rt::SimEngine engine(cluster, {});
+  core::PlbHecScheduler plb;
+  const rt::RunResult r = engine.run(w, plb);
+  ASSERT_TRUE(r.ok) << r.error;
+  const auto& st = plb.stats();
+  ASSERT_GE(st.solves, 2u) << "expected progressive refinement re-solves";
+  EXPECT_GE(st.warm_solves, 1u);
+  EXPECT_LE(st.warm_solves, st.solves);
+  EXPECT_GT(st.kkt_solves, 0u);
 }
 
 TEST(RealExecution, GreedySchedulesRealMatMul) {

@@ -346,6 +346,41 @@ TEST(BlockSelection, NonlinearCurvesSolved) {
   EXPECT_NEAR(t1, t0, 0.05 * t0);
 }
 
+TEST(BlockSelection, WarmStartIsUsedAndSolvesNoHarder) {
+  std::vector<fit::PerfModel> models{affine_model(0.03, 2.0, 0.2, 0.01),
+                                     affine_model(0.01, 7.0, 0.2, 0.0),
+                                     affine_model(0.02, 3.5, 0.2, 0.005)};
+  const BlockSelection cold = select_block_sizes(models);
+  ASSERT_TRUE(cold.ok);
+  EXPECT_FALSE(cold.warm_started);
+
+  // A re-fit only perturbs the curves (§III-D), so re-solving from the
+  // previous fractions must converge to the same quality with no more KKT
+  // factorizations than the cold analytic-started solve.
+  std::vector<fit::PerfModel> refit = models;
+  refit[1].exec.coefficients[1] *= 1.05;
+  BlockSelectionOptions opts;
+  opts.warm_start = cold.fractions;
+  const BlockSelection warm = select_block_sizes(refit, opts);
+  ASSERT_TRUE(warm.ok);
+  EXPECT_TRUE(warm.warm_started);
+  EXPECT_FALSE(warm.used_fallback);
+  EXPECT_LE(warm.ip.kkt_solves, cold.ip.kkt_solves);
+  const double t0 = refit[0].total_time(warm.fractions[0]);
+  for (std::size_t g = 1; g < refit.size(); ++g)
+    EXPECT_NEAR(refit[g].total_time(warm.fractions[g]), t0, 0.05 * t0);
+}
+
+TEST(BlockSelection, MismatchedWarmStartIsIgnored) {
+  std::vector<fit::PerfModel> models{affine_model(0.0, 1.0),
+                                     affine_model(0.0, 2.0)};
+  BlockSelectionOptions opts;
+  opts.warm_start = {0.7};  // wrong length: fall back to the analytic start
+  const BlockSelection sel = select_block_sizes(models, opts);
+  ASSERT_TRUE(sel.ok);
+  EXPECT_FALSE(sel.warm_started);
+}
+
 TEST(BlockSelection, SingleUnit) {
   std::vector<fit::PerfModel> models{affine_model(0.0, 1.0)};
   const BlockSelection sel = select_block_sizes(models);
