@@ -27,6 +27,7 @@ void HdssScheduler::start(const std::vector<rt::UnitInfo>& units,
   failed_.assign(units_n_, false);
   adaptive_grains_.assign(units_n_, 0);
   allocation_.assign(units_n_, 0.0);
+  fit_counters_ = {};
   completion_ = units_n_ == 1;  // nothing to weigh with one unit
   if (completion_) allocation_[0] = static_cast<double>(work.total_grains);
   issued_ = 0;
@@ -80,7 +81,9 @@ void HdssScheduler::update_weight(rt::UnitId u) {
   if (samples.size() >= 3 && x_hi > 1.5 * x_lo) {
     std::vector<fit::BasisFn> log_terms{fit::BasisFn::kOne,
                                         fit::BasisFn::kLnX};
-    if (const auto fitted = fit::fit_terms(samples, log_terms)) {
+    if (const auto fitted =
+            fit::fit_terms(samples, log_terms, /*relative_weighting=*/false,
+                           fit::FitEngine::kAuto, &fit_counters_)) {
       const double x_ref = 0.10;
       const double predicted = fitted->model(x_ref);
       // Saturating-throughput prior: the asymptotic speed cannot be far

@@ -25,6 +25,7 @@
 
 #include <vector>
 
+#include "plbhec/fit/least_squares.hpp"
 #include "plbhec/fit/samples.hpp"
 #include "plbhec/rt/scheduler.hpp"
 
@@ -61,6 +62,11 @@ class HdssScheduler final : public rt::Scheduler {
   [[nodiscard]] const fit::SampleSet& speed_samples(rt::UnitId u) const {
     return speed_samples_.at(u);
   }
+  /// Which numerical path the weight-update log fits took (the log fit
+  /// rides the same SampleSet moments as PLB-HeC's curve selection).
+  [[nodiscard]] const fit::FitCounters& fit_counters() const {
+    return fit_counters_;
+  }
 
  private:
   void update_weight(rt::UnitId u);
@@ -78,6 +84,7 @@ class HdssScheduler final : public rt::Scheduler {
   std::vector<bool> failed_;
   std::vector<std::size_t> adaptive_grains_;
   std::vector<double> allocation_;  ///< fixed completion-phase quota
+  fit::FitCounters fit_counters_;
   bool completion_ = false;
   std::size_t issued_ = 0;  ///< grains handed out so far (upper bound)
 };

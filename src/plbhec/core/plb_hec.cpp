@@ -168,12 +168,12 @@ void PlbHecScheduler::maybe_finish_modeling() {
 
   bool fits_acceptable = false;
   if (enough_samples && !data_cap_hit) {
+    // Served from the ProfileDb fit cache: the fit_and_select that follows
+    // an all-acceptable sweep reuses these selections instead of refitting.
     fits_acceptable = true;
     for (rt::UnitId u = 0; u < units_.size(); ++u) {
       if (failed_[u]) continue;
-      const fit::FitResult f =
-          fit::select_model(profiles_.exec_samples(u), options_.fit);
-      if (!f.acceptable) {
+      if (!profiles_.exec_fit(u, options_.fit).acceptable) {
         fits_acceptable = false;
         break;
       }
@@ -184,6 +184,7 @@ void PlbHecScheduler::maybe_finish_modeling() {
     phase_ = Phase::kExecuting;
     fit_and_select();
   }
+  sync_fit_stats();
 }
 
 void PlbHecScheduler::on_complete(const rt::TaskObservation& obs) {
@@ -270,9 +271,19 @@ void PlbHecScheduler::on_complete(const rt::TaskObservation& obs) {
   }
 }
 
+void PlbHecScheduler::sync_fit_stats() {
+  const rt::FitStats fs = profiles_.fit_stats();
+  stats_.fits_computed = fs.fits_computed;
+  stats_.fits_cached = fs.fits_cached;
+  stats_.gram_solves = fs.gram_solves;
+  stats_.qr_solves = fs.qr_solves;
+  stats_.qr_fallbacks = fs.qr_fallbacks;
+}
+
 void PlbHecScheduler::fit_and_select() {
   ++generation_;
   models_ = profiles_.fit_all(options_.fit);
+  sync_fit_stats();
 
   // Build the model list over alive units only.
   std::vector<fit::PerfModel> alive_models;

@@ -85,6 +85,11 @@ struct PlbHecStats {
   std::vector<double> solve_seconds;  ///< wall time per selection
   double modeling_grains = 0.0;    ///< grains consumed by the modeling phase
   std::vector<std::vector<double>> fraction_history;  ///< per selection
+  std::size_t fits_computed = 0;   ///< exec-curve selections actually solved
+  std::size_t fits_cached = 0;     ///< selections served from the fit cache
+  std::size_t gram_solves = 0;     ///< subset fits via cached moments
+  std::size_t qr_solves = 0;       ///< subset fits via design-matrix QR
+  std::size_t qr_fallbacks = 0;    ///< Gram-path conditioning bailouts
 };
 
 class PlbHecScheduler final : public rt::Scheduler {
@@ -119,6 +124,7 @@ class PlbHecScheduler final : public rt::Scheduler {
   [[nodiscard]] std::size_t plan_probe_block(rt::UnitId unit) const;
   void maybe_finish_modeling();
   void fit_and_select();
+  void sync_fit_stats();
   [[nodiscard]] bool alive(rt::UnitId u) const { return !failed_[u]; }
   [[nodiscard]] std::size_t alive_count() const;
 

@@ -5,10 +5,17 @@
 #include <limits>
 
 #include "plbhec/common/stats.hpp"
+#include "plbhec/linalg/cholesky.hpp"
 #include "plbhec/linalg/qr.hpp"
 
 namespace plbhec::fit {
 namespace {
+
+/// kAuto cutover: below this many samples the QR path is both cheap and
+/// the historical numerical reference (exact fits on 2-5 points are where
+/// normal-equation cancellation would perturb the BIC tie-breaking); at and
+/// above it the O(k^3) moment solve wins and agrees with QR to ~1e-9.
+constexpr std::size_t kGramMinSamples = 8;
 
 /// Builds the design matrix for a term subset.
 linalg::Matrix design_matrix(const SampleSet& samples,
@@ -54,13 +61,11 @@ bool physically_plausible(const CurveModel& model, double x_lo) {
   return worst_drop <= 0.05 * std::max(range, 1e-300);
 }
 
-}  // namespace
-
-std::optional<FitResult> fit_terms(const SampleSet& samples,
-                                   std::span<const BasisFn> terms,
-                                   bool relative_weighting) {
-  if (terms.empty() || samples.size() < terms.size()) return std::nullopt;
-
+/// Legacy path: rebuild the design matrix and solve by Householder QR with
+/// column equilibration. O(n k^2) per fit.
+std::optional<FitResult> fit_terms_qr(const SampleSet& samples,
+                                      std::span<const BasisFn> terms,
+                                      bool relative_weighting) {
   linalg::Matrix a = design_matrix(samples, terms);
   std::vector<double> b = samples.times();
 
@@ -97,9 +102,88 @@ std::optional<FitResult> fit_terms(const SampleSet& samples,
   return result;
 }
 
+/// Fast path: solve the k x k sub-Gram system assembled from the sample
+/// set's incrementally maintained moments, recovering RSS/R^2/BIC from the
+/// cached unweighted moments. O(k^3) per fit, independent of sample count.
+/// Returns nullopt when the equilibrated sub-Gram is too ill-conditioned to
+/// certify ~1e-9 agreement with QR (the e^x family near x -> 1); the caller
+/// then falls back to the design-matrix path.
+std::optional<FitResult> fit_terms_gram(const SampleSet& samples,
+                                        std::span<const BasisFn> terms,
+                                        bool relative_weighting) {
+  const MomentSet& m = samples.moments();
+  const std::size_t k = terms.size();
+
+  linalg::Matrix g(k, k);
+  std::vector<double> rhs(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    for (std::size_t j = 0; j < k; ++j)
+      g(i, j) = m.gram(terms[i], terms[j], relative_weighting);
+    rhs[i] = m.xty(terms[i], relative_weighting);
+  }
+
+  const auto solved = linalg::solve_equilibrated_spd(g, rhs);
+  if (!solved) return std::nullopt;
+  const std::vector<double>& c = solved->x;
+
+  FitResult result;
+  result.model.terms.assign(terms.begin(), terms.end());
+  result.model.coefficients = c;
+
+  // RSS via the quadratic form ||y - Xc||^2 = y'y - 2 c'X'y + c'G c over
+  // the *unweighted* moments (acceptance R^2 is always unweighted).
+  double ctb = 0.0;
+  double ctgc = 0.0;
+  for (std::size_t i = 0; i < k; ++i) {
+    ctb += c[i] * m.xty(terms[i]);
+    double gc = 0.0;
+    for (std::size_t j = 0; j < k; ++j)
+      gc += m.gram(terms[i], terms[j]) * c[j];
+    ctgc += c[i] * gc;
+  }
+  const double yty = m.yty();
+  const double n = static_cast<double>(samples.size());
+  const double rss = std::max(yty - 2.0 * ctb + ctgc, 0.0);
+  const double tss = yty - m.sum_y() * m.sum_y() / n;
+
+  // Mirror r_squared()'s constant-observation edge case, with a relative
+  // floor standing in for its exact ss_tot == 0 test (the moment-space TSS
+  // carries cancellation noise of order eps * y'y).
+  if (tss <= 1e-12 * std::max(yty, 1e-300))
+    result.r2 = rss <= 1e-12 * std::max(yty, 1e-300) ? 1.0 : 0.0;
+  else
+    result.r2 = 1.0 - rss / tss;
+  result.model.r2 = result.r2;
+  result.bic = compute_bic(rss, samples.size(), k);
+  return result;
+}
+
+}  // namespace
+
+std::optional<FitResult> fit_terms(const SampleSet& samples,
+                                   std::span<const BasisFn> terms,
+                                   bool relative_weighting, FitEngine engine,
+                                   FitCounters* counters) {
+  if (terms.empty() || samples.size() < terms.size()) return std::nullopt;
+
+  const bool try_gram =
+      engine == FitEngine::kGram ||
+      (engine == FitEngine::kAuto && samples.size() >= kGramMinSamples);
+  if (try_gram) {
+    if (auto fitted = fit_terms_gram(samples, terms, relative_weighting)) {
+      if (counters) ++counters->gram_solves;
+      return fitted;
+    }
+    if (counters) ++counters->qr_fallbacks;
+  }
+  if (counters) ++counters->qr_solves;
+  return fit_terms_qr(samples, terms, relative_weighting);
+}
+
 FitResult select_model_from(const SampleSet& samples,
                             std::span<const BasisFn> candidate_terms,
-                            const SelectionOptions& options) {
+                            const SelectionOptions& options,
+                            FitCounters* counters) {
   FitResult best_plausible;
   FitResult best_any;
   best_plausible.bic = std::numeric_limits<double>::infinity();
@@ -149,7 +233,8 @@ FitResult select_model_from(const SampleSet& samples,
         if (mask & (std::size_t{1} << i)) terms.push_back(candidate_terms[i]);
       if (terms.size() > max_params) continue;
 
-      auto fitted = fit_terms(samples, terms, options.relative_weighting);
+      auto fitted = fit_terms(samples, terms, options.relative_weighting,
+                              options.engine, counters);
       if (!fitted) continue;
 
       if (fitted->bic < best_any.bic - 1e-12) best_any = *fitted;
@@ -178,7 +263,9 @@ FitResult select_model_from(const SampleSet& samples,
   // sample): model the unit as a constant.
   if (!best.model.valid() && options.include_intercept && !samples.empty()) {
     std::vector<BasisFn> constant{BasisFn::kOne};
-    if (auto fitted = fit_terms(samples, constant)) best = *fitted;
+    if (auto fitted = fit_terms(samples, constant, false, options.engine,
+                                counters))
+      best = *fitted;
   }
 
   best.acceptable = best.model.valid() && best.r2 >= options.r2_threshold;
@@ -186,8 +273,9 @@ FitResult select_model_from(const SampleSet& samples,
 }
 
 FitResult select_model(const SampleSet& samples,
-                       const SelectionOptions& options) {
-  return select_model_from(samples, paper_terms(), options);
+                       const SelectionOptions& options,
+                       FitCounters* counters) {
+  return select_model_from(samples, paper_terms(), options, counters);
 }
 
 TransferModel fit_transfer(const SampleSet& samples) {

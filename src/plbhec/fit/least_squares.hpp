@@ -15,6 +15,28 @@
 
 namespace plbhec::fit {
 
+/// Which linear-algebra path solves a term-subset fit.
+enum class FitEngine {
+  kAuto,  ///< Gram/Cholesky once enough samples amortize it, else QR
+  kQr,    ///< always rebuild the design matrix and solve by Householder QR
+  kGram,  ///< always solve the cached-moment normal equations (QR only as
+          ///< a conditioning fallback)
+};
+
+/// Counters describing which path fits actually took; callers aggregate
+/// them into scheduler statistics.
+struct FitCounters {
+  std::size_t gram_solves = 0;   ///< subset solved from cached moments
+  std::size_t qr_solves = 0;     ///< design-matrix QR solves
+  std::size_t qr_fallbacks = 0;  ///< Gram path bailed out on conditioning
+
+  void merge(const FitCounters& o) {
+    gram_solves += o.gram_solves;
+    qr_solves += o.qr_solves;
+    qr_fallbacks += o.qr_fallbacks;
+  }
+};
+
 /// Options for subset model selection.
 struct SelectionOptions {
   /// Acceptance threshold on the coefficient of determination; the paper
@@ -43,6 +65,14 @@ struct SelectionOptions {
   /// in the block size. Falls back to the unfiltered best when every
   /// candidate violates it.
   bool physical_filter = true;
+  /// Numerical path for subset solves. kAuto switches from QR to the
+  /// cached-moment Gram/Cholesky path once the sample count makes the
+  /// O(k^3) solve a win (and the small-n numerics QR-identical).
+  FitEngine engine = FitEngine::kAuto;
+
+  /// Field-wise equality; the profile database keys its fit cache on this.
+  friend bool operator==(const SelectionOptions&,
+                         const SelectionOptions&) = default;
 };
 
 /// Result of fitting one processing unit's execution-time curve.
@@ -55,20 +85,24 @@ struct FitResult {
 
 /// Fits the given term subset to the samples. Returns nullopt when the
 /// system is underdetermined (fewer samples than terms) or degenerate.
+/// `engine` picks the solver path (see FitEngine); `counters`, when given,
+/// records which path ran.
 [[nodiscard]] std::optional<FitResult> fit_terms(
     const SampleSet& samples, std::span<const BasisFn> terms,
-    bool relative_weighting = false);
+    bool relative_weighting = false, FitEngine engine = FitEngine::kAuto,
+    FitCounters* counters = nullptr);
 
 /// Enumerates subsets of `candidate_terms` (size 1..max_terms, plus the
 /// intercept when enabled), fits each, and returns the best by BIC.
 /// `acceptable` reflects the paper's R^2 >= threshold rule.
 [[nodiscard]] FitResult select_model(const SampleSet& samples,
-                                     const SelectionOptions& options = {});
+                                     const SelectionOptions& options = {},
+                                     FitCounters* counters = nullptr);
 
 /// Same but with an explicit candidate list (used by the basis ablation).
 [[nodiscard]] FitResult select_model_from(
     const SampleSet& samples, std::span<const BasisFn> candidate_terms,
-    const SelectionOptions& options = {});
+    const SelectionOptions& options = {}, FitCounters* counters = nullptr);
 
 /// Fits G_p(x) = slope * x + latency, clamping both to be non-negative.
 [[nodiscard]] TransferModel fit_transfer(const SampleSet& samples);

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "plbhec/common/contracts.hpp"
+#include "plbhec/fit/moments.hpp"
 
 namespace plbhec::fit {
 
@@ -16,13 +17,16 @@ struct Sample {
   double time = 0.0;  ///< observed seconds
 };
 
-/// Growable set of samples with cheap column views for the fitters.
+/// Growable set of samples with cheap column views for the fitters, plus
+/// incrementally maintained full-basis moments (Gram matrix, X^T y, y^T y)
+/// so subset fits can be solved in O(k^3) without revisiting the samples.
 class SampleSet {
  public:
   void add(double x, double time) {
     PLBHEC_EXPECTS(x > 0.0);
     PLBHEC_EXPECTS(time >= 0.0);
     samples_.push_back({x, time});
+    moments_.add(x, time);
   }
 
   [[nodiscard]] std::size_t size() const { return samples_.size(); }
@@ -42,10 +46,16 @@ class SampleSet {
     return v;
   }
 
-  void clear() { samples_.clear(); }
+  [[nodiscard]] const MomentSet& moments() const { return moments_; }
+
+  void clear() {
+    samples_.clear();
+    moments_.clear();
+  }
 
  private:
   std::vector<Sample> samples_;
+  MomentSet moments_;
 };
 
 }  // namespace plbhec::fit

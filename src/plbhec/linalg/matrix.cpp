@@ -39,6 +39,20 @@ double Matrix::max_abs() const {
   return m;
 }
 
+Vector equilibrate_columns(Matrix& a) {
+  Vector factor(a.cols(), 1.0);
+  for (std::size_t c = 0; c < a.cols(); ++c) {
+    double norm = 0.0;
+    for (std::size_t r = 0; r < a.rows(); ++r) norm += a(r, c) * a(r, c);
+    norm = std::sqrt(norm);
+    if (norm > 0.0) {
+      factor[c] = 1.0 / norm;
+      for (std::size_t r = 0; r < a.rows(); ++r) a(r, c) *= factor[c];
+    }
+  }
+  return factor;
+}
+
 Vector matvec(const Matrix& a, std::span<const double> x) {
   PLBHEC_EXPECTS(a.cols() == x.size());
   Vector y(a.rows(), 0.0);

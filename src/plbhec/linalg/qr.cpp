@@ -121,20 +121,9 @@ std::optional<LsSolution> least_squares(const Matrix& a,
   // Column equilibration: scale each column to unit 2-norm so the wildly
   // different magnitudes of the basis functions (x^3 vs ln x) do not destroy
   // the factorization.
-  Vector col_scale(n, 1.0);
   Matrix scaled = a;
-  bool any_nonzero = false;
-  for (std::size_t c = 0; c < n; ++c) {
-    double norm = 0.0;
-    for (std::size_t r = 0; r < a.rows(); ++r) norm += a(r, c) * a(r, c);
-    norm = std::sqrt(norm);
-    if (norm > 0.0) {
-      any_nonzero = true;
-      col_scale[c] = 1.0 / norm;
-      for (std::size_t r = 0; r < a.rows(); ++r) scaled(r, c) *= col_scale[c];
-    }
-  }
-  if (!any_nonzero) return std::nullopt;
+  const Vector col_scale = equilibrate_columns(scaled);
+  if (scaled.max_abs() == 0.0) return std::nullopt;  // every column zero
 
   auto sol = Qr::factor(std::move(scaled)).solve(b);
   for (std::size_t c = 0; c < n; ++c) sol.coefficients[c] *= col_scale[c];

@@ -3,7 +3,16 @@
 /// Per-unit profiling database: accumulates (block fraction, time) samples
 /// for execution and transfer, and fits the paper's performance models on
 /// demand. Shared by PLB-HeC and HDSS.
+///
+/// Fitting pipeline (PR 2): every recorded sample bumps a per-unit version
+/// counter, and fit results are cached keyed on (version, SelectionOptions)
+/// — so the acceptance sweep in `maybe_finish_modeling` and the
+/// immediately following `fit_and_select` share one fit per unit instead of
+/// computing three, and units that received no new samples between two
+/// selections are never refit. `fit_all` fans the per-unit model selection
+/// out across the process-wide work-stealing pool.
 
+#include <cstdint>
 #include <vector>
 
 #include "plbhec/fit/least_squares.hpp"
@@ -12,6 +21,16 @@
 
 namespace plbhec::rt {
 
+/// Aggregate fit-pipeline statistics: cache effectiveness and which
+/// numerical path the subset solves took.
+struct FitStats {
+  std::size_t fits_computed = 0;  ///< exec-curve model selections solved
+  std::size_t fits_cached = 0;    ///< selections served from the cache
+  std::size_t gram_solves = 0;    ///< subset fits via cached moments
+  std::size_t qr_solves = 0;      ///< subset fits via design-matrix QR
+  std::size_t qr_fallbacks = 0;   ///< Gram-path conditioning bailouts
+};
+
 class ProfileDb {
  public:
   ProfileDb() = default;
@@ -19,19 +38,30 @@ class ProfileDb {
 
   void reset(std::size_t units, std::size_t total_grains);
 
-  /// Records a completed task's profile.
+  /// Records a completed task's profile (bumps the unit's sample version,
+  /// invalidating its cached fits).
   void record(const TaskObservation& obs);
 
   [[nodiscard]] std::size_t units() const { return exec_.size(); }
   [[nodiscard]] const fit::SampleSet& exec_samples(UnitId u) const;
   [[nodiscard]] const fit::SampleSet& transfer_samples(UnitId u) const;
 
+  /// Monotonic per-unit sample version; advanced by every recorded sample
+  /// (zero-grain observations do not change the samples and do not bump).
+  [[nodiscard]] std::uint64_t version(UnitId u) const;
+
+  /// Execution-curve model selection for unit `u`, served from the fit
+  /// cache when the unit's samples have not changed since the last call
+  /// with equal options.
+  [[nodiscard]] fit::FitResult exec_fit(
+      UnitId u, const fit::SelectionOptions& options = {}) const;
+
   /// Fits F_p and G_p for unit `u` with the given selection options.
   [[nodiscard]] fit::PerfModel fit_unit(
       UnitId u, const fit::SelectionOptions& options = {}) const;
 
-  /// Fits every unit; returns one PerfModel per unit (invalid models for
-  /// units with no samples).
+  /// Fits every unit in parallel on the global thread pool; returns one
+  /// PerfModel per unit (invalid models for units with no samples).
   [[nodiscard]] std::vector<fit::PerfModel> fit_all(
       const fit::SelectionOptions& options = {}) const;
 
@@ -41,10 +71,40 @@ class ProfileDb {
 
   [[nodiscard]] double grains_to_fraction(std::size_t grains) const;
 
+  /// Snapshot of the cache/solver counters accumulated since reset().
+  [[nodiscard]] FitStats fit_stats() const;
+
+  /// Drops every cached fit and zeroes the counters without touching the
+  /// samples (benchmark support: forces honest refits).
+  void clear_fit_cache();
+
  private:
+  struct CacheEntry {
+    fit::SelectionOptions options;
+    std::uint64_t version = 0;
+    fit::FitResult exec;
+    fit::TransferModel transfer;
+    std::uint64_t transfer_version = 0;
+    bool has_transfer = false;
+  };
+  struct UnitCache {
+    std::uint64_t version = 1;  ///< starts above any cached entry's 0
+    std::vector<CacheEntry> entries;
+  };
+
+  /// Cached-or-computed exec fit; returns the entry so fit_unit can attach
+  /// the transfer model. Touches only cache_[u] — safe for the per-unit
+  /// parallel fan-out in fit_all.
+  CacheEntry& exec_entry(UnitId u, const fit::SelectionOptions& options) const;
+
   std::vector<fit::SampleSet> exec_;
   std::vector<fit::SampleSet> transfer_;
   std::size_t total_grains_ = 1;
+
+  mutable std::vector<UnitCache> cache_;
+  /// Mutated through std::atomic_ref (fit_all fans units across threads);
+  /// plain fields keep ProfileDb copyable and movable.
+  mutable FitStats counters_;
 };
 
 }  // namespace plbhec::rt

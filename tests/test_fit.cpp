@@ -288,5 +288,172 @@ TEST(PerfModel, TotalsAndDerivatives) {
   EXPECT_DOUBLE_EQ(m.total_second_derivative(0.5), 8.0);
 }
 
+// ---------------------------------------------------------------------------
+// Incremental moments: the cached Gram matrix / moment vectors must equal
+// the quantities computed directly from the stored samples.
+
+TEST(MomentSet, MatchesDirectComputation) {
+  Rng rng(11);
+  SampleSet s;
+  for (int i = 0; i < 40; ++i)
+    s.add(rng.uniform(0.001, 0.9), rng.uniform(0.01, 5.0));
+
+  const MomentSet& m = s.moments();
+  ASSERT_EQ(m.count(), s.size());
+  const auto terms = all_terms();
+  for (BasisFn a : terms) {
+    double direct_xty = 0.0;
+    for (const auto& it : s.items()) direct_xty += eval(a, it.x) * it.time;
+    EXPECT_NEAR(m.xty(a), direct_xty,
+                1e-12 * std::max(1.0, std::fabs(direct_xty)))
+        << name(a);
+    for (BasisFn b : terms) {
+      double direct = 0.0;
+      for (const auto& it : s.items()) direct += eval(a, it.x) * eval(b, it.x);
+      EXPECT_NEAR(m.gram(a, b), direct,
+                  1e-12 * std::max(1.0, std::fabs(direct)))
+          << name(a) << "*" << name(b);
+      EXPECT_DOUBLE_EQ(m.gram(a, b), m.gram(b, a));
+    }
+  }
+  double direct_yty = 0.0;
+  double direct_wyty = 0.0;
+  for (const auto& it : s.items()) {
+    direct_yty += it.time * it.time;
+    const double w = 1.0 / std::max(it.time, 1e-9);
+    direct_wyty += w * w * it.time * it.time;
+  }
+  EXPECT_NEAR(m.yty(), direct_yty, 1e-12 * direct_yty);
+  EXPECT_NEAR(m.yty(/*weighted=*/true), direct_wyty, 1e-12 * direct_wyty);
+}
+
+TEST(MomentSet, ClearResets) {
+  SampleSet s;
+  s.add(0.1, 1.0);
+  s.clear();
+  EXPECT_EQ(s.moments().count(), 0u);
+  EXPECT_EQ(s.moments().yty(), 0.0);
+  EXPECT_EQ(s.moments().gram(BasisFn::kOne, BasisFn::kOne), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Gram/Cholesky vs QR equivalence: every subset the selection pipeline can
+// visit (sizes 1..4 over the full basis) must produce the same coefficients,
+// R^2 and BIC from the cached-moment path as from the design-matrix path,
+// across the whole sample-count range the scheduler sees.
+
+class GramQrEquivalence : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(GramQrEquivalence, AllSubsetsAgree) {
+  const std::size_t n = GetParam();
+  Rng rng(1000 + n);
+  SampleSet s;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double x = rng.uniform(0.002, 0.9);
+    const double t = (0.03 + 2.0 * x + 5.0 * x * x) *
+                     rng.lognormal_factor(0.05);
+    s.add(x, t);
+  }
+
+  const auto terms = all_terms();
+  std::size_t compared = 0;
+  for (unsigned mask = 1; mask < (1u << terms.size()); ++mask) {
+    std::vector<BasisFn> subset;
+    for (std::size_t i = 0; i < terms.size(); ++i)
+      if (mask & (1u << i)) subset.push_back(terms[i]);
+    if (subset.size() > 4) continue;  // selection caps at max_terms+intercept
+
+    for (bool weighted : {false, true}) {
+      FitCounters qr_counters, gram_counters;
+      const auto via_qr =
+          fit_terms(s, subset, weighted, FitEngine::kQr, &qr_counters);
+      const auto via_gram =
+          fit_terms(s, subset, weighted, FitEngine::kGram, &gram_counters);
+      ASSERT_EQ(via_qr.has_value(), via_gram.has_value())
+          << "n=" << n << " mask=" << mask << " weighted=" << weighted;
+      if (!via_qr) continue;
+      EXPECT_EQ(qr_counters.qr_solves, 1u);
+      // The Gram engine either solved from moments or certifiably fell back
+      // to QR; in both cases the result must match the pure-QR fit.
+      EXPECT_EQ(gram_counters.gram_solves + gram_counters.qr_fallbacks, 1u);
+
+      ASSERT_EQ(via_gram->model.coefficients.size(),
+                via_qr->model.coefficients.size());
+      double scale = 1.0;
+      for (double c : via_qr->model.coefficients)
+        scale = std::max(scale, std::fabs(c));
+      for (std::size_t i = 0; i < via_qr->model.coefficients.size(); ++i)
+        EXPECT_NEAR(via_gram->model.coefficients[i],
+                    via_qr->model.coefficients[i], 1e-8 * scale)
+            << "n=" << n << " mask=" << mask << " weighted=" << weighted;
+      EXPECT_NEAR(via_gram->r2, via_qr->r2, 1e-8)
+          << "n=" << n << " mask=" << mask << " weighted=" << weighted;
+      // BIC contains log(rss); skip the comparison when the fit is exact
+      // enough that rss sits at the cancellation floor and its log is noise.
+      const double rss_guard = 1e-10 * s.moments().yty();
+      if (via_qr->r2 < 1.0 - 1e-10 || rss_guard == 0.0)
+        EXPECT_NEAR(via_gram->bic, via_qr->bic,
+                    1e-8 * std::max(1.0, std::fabs(via_qr->bic)))
+            << "n=" << n << " mask=" << mask << " weighted=" << weighted;
+      ++compared;
+    }
+  }
+  EXPECT_GT(compared, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(SampleCounts, GramQrEquivalence,
+                         ::testing::Values(2, 3, 4, 6, 8, 12, 16, 24, 32, 48,
+                                           64, 96, 128, 192, 256),
+                         [](const auto& info) {
+                           return "n" + std::to_string(info.param);
+                         });
+
+TEST(GramQrEquivalenceSelect, FullSelectionAgrees) {
+  // End-to-end: select_model must pick models whose predictions agree
+  // between the two engines (term identity can legitimately differ only on
+  // exact BIC ties, which noisy data rules out).
+  for (std::uint64_t seed : {1u, 2u, 3u, 4u, 5u}) {
+    Rng rng(seed);
+    SampleSet s;
+    for (std::size_t i = 0; i < 24; ++i) {
+      const double x = rng.uniform(0.002, 0.6);
+      s.add(x, (0.05 + 1.5 * x + 3.0 * x * x) * rng.lognormal_factor(0.03));
+    }
+    SelectionOptions qr_opts, gram_opts;
+    qr_opts.engine = FitEngine::kQr;
+    gram_opts.engine = FitEngine::kGram;
+    const FitResult a = select_model(s, qr_opts);
+    const FitResult b = select_model(s, gram_opts);
+    ASSERT_TRUE(a.model.valid());
+    ASSERT_TRUE(b.model.valid());
+    EXPECT_EQ(a.acceptable, b.acceptable) << "seed=" << seed;
+    EXPECT_NEAR(a.r2, b.r2, 1e-8) << "seed=" << seed;
+    for (double x : {0.01, 0.05, 0.2, 0.5})
+      EXPECT_NEAR(b.model(x), a.model(x),
+                  1e-6 * std::max(1.0, std::fabs(a.model(x))))
+          << "seed=" << seed << " x=" << x;
+  }
+}
+
+TEST(FitEngineAuto, UsesQrBelowCutoverAndGramAbove) {
+  std::vector<BasisFn> terms{BasisFn::kOne, BasisFn::kX};
+  {
+    auto s = sample_curve({0.01, 0.02, 0.04, 0.08},
+                          [](double x) { return 0.1 + 2.0 * x; });
+    FitCounters c;
+    ASSERT_TRUE(fit_terms(s, terms, false, FitEngine::kAuto, &c));
+    EXPECT_EQ(c.qr_solves, 1u);
+    EXPECT_EQ(c.gram_solves, 0u);
+  }
+  {
+    auto s = sample_curve(
+        {0.01, 0.02, 0.03, 0.04, 0.05, 0.06, 0.07, 0.08, 0.09, 0.1},
+        [](double x) { return 0.1 + 2.0 * x; }, 0.02, 13);
+    FitCounters c;
+    ASSERT_TRUE(fit_terms(s, terms, false, FitEngine::kAuto, &c));
+    EXPECT_EQ(c.gram_solves + c.qr_fallbacks, 1u);
+  }
+}
+
 }  // namespace
 }  // namespace plbhec::fit

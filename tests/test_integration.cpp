@@ -175,6 +175,39 @@ TEST(PaperHeadline, LargerInputsLowerPlbIdleness) {
   EXPECT_GT(mean_idle(4096), mean_idle(65536) - 2.0);
 }
 
+TEST(PaperHeadline, GramEngineReproducesQrFractionHistories) {
+  // The cached-moment fitting pipeline is a pure perf optimization: on the
+  // Fig. 4 matmul scenario the selected fractions must match the legacy
+  // design-matrix QR path to within solver noise.
+  apps::MatMulWorkload w_qr(16384), w_auto(16384);
+  sim::SimCluster cluster(sim::scenario(4));
+  rt::SimEngine engine(cluster, {});
+
+  core::PlbHecOptions qr_opts;
+  qr_opts.fit.engine = fit::FitEngine::kQr;
+  core::PlbHecScheduler plb_qr(qr_opts);
+  const rt::RunResult r_qr = engine.run(w_qr, plb_qr);
+
+  core::PlbHecScheduler plb_auto;  // default: kAuto
+  const rt::RunResult r_auto = engine.run(w_auto, plb_auto);
+
+  ASSERT_TRUE(r_qr.ok && r_auto.ok);
+  const auto& hist_qr = plb_qr.stats().fraction_history;
+  const auto& hist_auto = plb_auto.stats().fraction_history;
+  ASSERT_EQ(hist_qr.size(), hist_auto.size());
+  for (std::size_t s = 0; s < hist_qr.size(); ++s) {
+    ASSERT_EQ(hist_qr[s].size(), hist_auto[s].size());
+    for (std::size_t u = 0; u < hist_qr[s].size(); ++u)
+      EXPECT_NEAR(hist_auto[s][u], hist_qr[s][u], 1e-9)
+          << "selection " << s << " unit " << u;
+  }
+  // The acceptance sweep's fits are reused by the selection that follows.
+  EXPECT_GT(plb_auto.stats().fits_cached, 0u);
+  EXPECT_GT(plb_auto.stats().fits_computed, 0u);
+  EXPECT_GT(plb_auto.stats().gram_solves, 0u);
+  EXPECT_EQ(plb_qr.stats().gram_solves, 0u);
+}
+
 TEST(Resilience, QosDropMidRunStillCompletes) {
   apps::MatMulWorkload w(8192);
   sim::SimCluster cluster(sim::scenario(2));

@@ -328,6 +328,126 @@ TEST(ProfileDb, ZeroGrainObservationIgnored) {
   obs.grains = 0;
   db.record(obs);
   EXPECT_TRUE(db.exec_samples(0).empty());
+  // No sample was added, so cached fits must stay valid.
+  EXPECT_EQ(db.version(0), db.version(0));
+  const std::uint64_t v = db.version(0);
+  db.record(obs);
+  EXPECT_EQ(db.version(0), v);
+}
+
+// ---- Fit cache --------------------------------------------------------------
+
+ProfileDb seeded_db(std::size_t units = 2, std::size_t samples = 6) {
+  ProfileDb db(units, 1000);
+  TaskObservation obs;
+  for (UnitId u = 0; u < units; ++u) {
+    obs.unit = u;
+    std::size_t g = 10;
+    for (std::size_t i = 0; i < samples; ++i, g += 10 + 7 * u) {
+      obs.grains = g;
+      obs.exec_seconds =
+          (0.01 + 0.002 * static_cast<double>(g)) * (1.0 + 0.2 * u);
+      obs.transfer_seconds = 0.001 * static_cast<double>(g);
+      db.record(obs);
+    }
+  }
+  return db;
+}
+
+TEST(ProfileDbFitCache, HitOnUnchangedSamples) {
+  ProfileDb db = seeded_db(1);
+  const fit::FitResult a = db.exec_fit(0);
+  const fit::FitResult b = db.exec_fit(0);
+  const FitStats s = db.fit_stats();
+  EXPECT_EQ(s.fits_computed, 1u);
+  EXPECT_EQ(s.fits_cached, 1u);
+  EXPECT_EQ(a.model.terms, b.model.terms);
+  EXPECT_EQ(a.model.coefficients, b.model.coefficients);
+  EXPECT_DOUBLE_EQ(a.bic, b.bic);
+}
+
+TEST(ProfileDbFitCache, RecordInvalidates) {
+  ProfileDb db = seeded_db(1);
+  const std::uint64_t v0 = db.version(0);
+  (void)db.exec_fit(0);
+  TaskObservation obs;
+  obs.unit = 0;
+  obs.grains = 500;
+  obs.exec_seconds = 1.1;
+  obs.transfer_seconds = 0.5;
+  db.record(obs);
+  EXPECT_GT(db.version(0), v0);
+  (void)db.exec_fit(0);
+  const FitStats s = db.fit_stats();
+  EXPECT_EQ(s.fits_computed, 2u);
+  EXPECT_EQ(s.fits_cached, 0u);
+}
+
+TEST(ProfileDbFitCache, ResetClearsCacheAndCounters) {
+  ProfileDb db = seeded_db(1);
+  (void)db.exec_fit(0);
+  (void)db.exec_fit(0);
+  db.reset(1, 1000);
+  const FitStats s = db.fit_stats();
+  EXPECT_EQ(s.fits_computed, 0u);
+  EXPECT_EQ(s.fits_cached, 0u);
+  EXPECT_EQ(s.gram_solves, 0u);
+  EXPECT_EQ(s.qr_solves, 0u);
+}
+
+TEST(ProfileDbFitCache, DistinctOptionsAreSeparateEntries) {
+  ProfileDb db = seeded_db(1);
+  fit::SelectionOptions weighted;
+  weighted.relative_weighting = true;
+  (void)db.exec_fit(0);
+  (void)db.exec_fit(0, weighted);
+  EXPECT_EQ(db.fit_stats().fits_computed, 2u);
+  EXPECT_EQ(db.fit_stats().fits_cached, 0u);
+  // Both entries stay live: repeated calls with either key hit the cache.
+  (void)db.exec_fit(0);
+  (void)db.exec_fit(0, weighted);
+  EXPECT_EQ(db.fit_stats().fits_computed, 2u);
+  EXPECT_EQ(db.fit_stats().fits_cached, 2u);
+}
+
+TEST(ProfileDbFitCache, FitUnitSharesExecFitAndCachesTransfer) {
+  ProfileDb db = seeded_db(1);
+  const fit::FitResult f = db.exec_fit(0);
+  const fit::PerfModel m1 = db.fit_unit(0);
+  const fit::PerfModel m2 = db.fit_unit(0);
+  const FitStats s = db.fit_stats();
+  EXPECT_EQ(s.fits_computed, 1u);  // exec_fit + both fit_unit calls share it
+  EXPECT_EQ(s.fits_cached, 2u);
+  EXPECT_EQ(m1.exec.terms, f.model.terms);
+  EXPECT_DOUBLE_EQ(m1.transfer.slope, m2.transfer.slope);
+  EXPECT_DOUBLE_EQ(m1.transfer.latency, m2.transfer.latency);
+}
+
+TEST(ProfileDbFitCache, ClearFitCacheForcesRefit) {
+  ProfileDb db = seeded_db(1);
+  (void)db.exec_fit(0);
+  db.clear_fit_cache();
+  (void)db.exec_fit(0);
+  EXPECT_EQ(db.fit_stats().fits_computed, 1u);
+  EXPECT_EQ(db.fit_stats().fits_cached, 0u);
+}
+
+TEST(ProfileDbFitCache, ParallelFitAllMatchesSerialFits) {
+  // 16 units fitted on the global pool; every unit touches only its own
+  // cache slot, which this test exercises under TSan (see ci.yml).
+  ProfileDb db = seeded_db(16, 12);
+  const std::vector<fit::PerfModel> models = db.fit_all();
+  ASSERT_EQ(models.size(), 16u);
+  EXPECT_EQ(db.fit_stats().fits_computed, 16u);
+  for (UnitId u = 0; u < 16; ++u) {
+    ASSERT_TRUE(models[u].valid()) << "unit " << u;
+    const fit::PerfModel serial = db.fit_unit(u);
+    EXPECT_EQ(serial.exec.terms, models[u].exec.terms) << "unit " << u;
+    EXPECT_EQ(serial.exec.coefficients, models[u].exec.coefficients);
+  }
+  // The verification pass was served entirely from the cache.
+  EXPECT_EQ(db.fit_stats().fits_computed, 16u);
+  EXPECT_EQ(db.fit_stats().fits_cached, 16u);
 }
 
 TEST(TraceLog, Accounting) {
