@@ -1,9 +1,11 @@
 // Performance-backbone microbenchmark: packed GEMM micro-kernel GFLOP/s
 // against the seed scalar kernel, and per-block dispatch overhead of the
 // persistent work-stealing pool against the seed's spawn/join pattern.
-// Emits JSON (stdout, plus argv[1] if given) so the perf trajectory of the
-// real-execution path is tracked from PR 1 onward; see
-// bench/results/bench_kernels.json for the committed numbers.
+// Emits JSON (stdout, plus an output path if given) so the perf trajectory
+// of the real-execution path is tracked from PR 1 onward; see
+// bench/results/bench_kernels.json for the committed numbers. `--smoke`
+// runs with reduced timing budgets but the same JSON structure (used by
+// the CI regression gate, tools/check_bench.py).
 
 #include <algorithm>
 #include <chrono>
@@ -59,7 +61,7 @@ struct GemmTimes {
   double max_abs_diff = 0.0;  ///< packed vs seed result (sanity)
 };
 
-GemmTimes bench_gemm(std::size_t n) {
+GemmTimes bench_gemm(std::size_t n, double budget) {
   plbhec::Rng rng(0x5eed + n);
   std::vector<double> a(n * n), b(n * n);
   for (auto& v : a) v = rng.uniform(-1.0, 1.0);
@@ -69,13 +71,13 @@ GemmTimes bench_gemm(std::size_t n) {
   const double flops = 2.0 * static_cast<double>(n) * static_cast<double>(n) *
                        static_cast<double>(n);
   const auto time_reps = [&](auto&& fn, std::vector<double>& c) {
-    // Warm up once, then run until ~0.3 s has elapsed.
+    // Warm up once, then run until ~`budget` seconds have elapsed.
     std::fill(c.begin(), c.end(), 0.0);
     fn(c);
     double best = 1e300;
     double elapsed = 0.0;
     std::size_t reps = 0;
-    while (elapsed < 0.3 || reps < 3) {
+    while (elapsed < budget || reps < 3) {
       std::fill(c.begin(), c.end(), 0.0);
       const Clock::time_point t0 = Clock::now();
       fn(c);
@@ -112,12 +114,12 @@ struct DispatchTimes {
   double pool_dispatch_us = 0.0; ///< persistent pool parallel_for per block
 };
 
-DispatchTimes bench_dispatch(unsigned lanes) {
+DispatchTimes bench_dispatch(unsigned lanes, bool smoke) {
   DispatchTimes out;
   std::vector<std::size_t> sink(lanes, 0);
 
   {  // Seed gemm_parallel pattern: a fresh spawn + join per block.
-    const std::size_t reps = 300;
+    const std::size_t reps = smoke ? 60 : 300;
     const Clock::time_point t0 = Clock::now();
     for (std::size_t r = 0; r < reps; ++r) {
       std::vector<std::thread> threads;
@@ -131,7 +133,7 @@ DispatchTimes bench_dispatch(unsigned lanes) {
 
   {  // Persistent pool: same fan-out shape, workers already parked.
     plbhec::exec::ThreadPool pool(lanes - 1);
-    const std::size_t reps = 5000;
+    const std::size_t reps = smoke ? 1000 : 5000;
     // Warm up (first dispatch wakes the workers cold).
     pool.parallel_for(0, lanes, 1, [&](std::size_t lo, std::size_t hi) {
       for (std::size_t i = lo; i < hi; ++i) ++sink[i];
@@ -149,13 +151,24 @@ DispatchTimes bench_dispatch(unsigned lanes) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string out_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--smoke")
+      smoke = true;
+    else
+      out_path = arg;
+  }
+  const double budget = smoke ? 0.03 : 0.3;
+
   const std::vector<std::size_t> sizes{128, 256, 512};
   std::string json = "{\n  \"benchmark\": \"bench_kernels\",\n";
   json += "  \"hardware_concurrency\": " +
           std::to_string(std::thread::hardware_concurrency()) + ",\n";
   json += "  \"gemm\": [\n";
   for (std::size_t i = 0; i < sizes.size(); ++i) {
-    const GemmTimes t = bench_gemm(sizes[i]);
+    const GemmTimes t = bench_gemm(sizes[i], budget);
     char buf[256];
     std::snprintf(buf, sizeof(buf),
                   "    {\"n\": %zu, \"seed_gflops\": %.3f, "
@@ -169,7 +182,7 @@ int main(int argc, char** argv) {
   json += "  ],\n";
 
   const unsigned lanes = 4;
-  const DispatchTimes d = bench_dispatch(lanes);
+  const DispatchTimes d = bench_dispatch(lanes, smoke);
   char buf[256];
   std::snprintf(buf, sizeof(buf),
                 "  \"dispatch\": {\"lanes\": %u, \"spawn_join_us\": %.2f, "
@@ -179,12 +192,12 @@ int main(int argc, char** argv) {
   json += buf;
 
   std::fputs(json.c_str(), stdout);
-  if (argc > 1) {
-    if (std::FILE* f = std::fopen(argv[1], "w")) {
+  if (!out_path.empty()) {
+    if (std::FILE* f = std::fopen(out_path.c_str(), "w")) {
       std::fputs(json.c_str(), f);
       std::fclose(f);
     } else {
-      std::fprintf(stderr, "cannot write %s\n", argv[1]);
+      std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
       return 1;
     }
   }

@@ -2,15 +2,21 @@
 /// the rebalancing Gantt. Runs PLB-HeC on three processing units (machine
 /// A + half of machine B), prints the ASCII Gantt of the stable run, then
 /// injects a mid-run QoS drop so the threshold sync of Fig. 3 actually
-/// fires, and prints that Gantt too.
+/// fires, and prints that Gantt too. `--trace-json <path>` additionally
+/// writes the drift run as Chrome trace-event JSON (open in Perfetto or
+/// chrome://tracing): busy segments as slices, scheduler decisions as
+/// instant events.
 
 #include "bench_common.hpp"
+#include "plbhec/obs/exporters.hpp"
+#include "plbhec/obs/sink.hpp"
 
 int main(int argc, char** argv) {
   using namespace plbhec;
   const Cli cli(argc, argv);
   const auto genes =
       static_cast<std::size_t>(cli.get_int("genes", 30'000));
+  const std::string trace_path = cli.get("trace-json", "");
 
   bench::print_header("Fig. 3 — execution phases and rebalancing Gantt",
                       sim::scenario(2));
@@ -35,7 +41,10 @@ int main(int argc, char** argv) {
   // Now with a QoS drop that forces the Fig. 3 sync.
   sim::SimCluster drifting(sim::scenario(2));
   drifting.add_speed_event(1, stable.makespan * 0.45, 0.3);
-  rt::SimEngine engine2(drifting, {});
+  obs::EventSink sink;
+  rt::EngineOptions eopts;
+  eopts.sink = &sink;
+  rt::SimEngine engine2(drifting, eopts);
   core::PlbHecOptions opts;
   opts.step_fraction = 0.0625;
   core::PlbHecScheduler plb2(opts);
@@ -50,5 +59,16 @@ int main(int argc, char** argv) {
   std::printf("rebalances=%zu selections=%zu makespan %.4f -> %.4f s\n",
               plb2.stats().rebalances, plb2.stats().solves, stable.makespan,
               drift.makespan);
+
+  if (!trace_path.empty()) {
+    const std::vector<obs::Event> events = sink.drain();
+    if (!obs::write_chrome_trace(drift, events, trace_path)) {
+      std::fprintf(stderr, "cannot write %s\n", trace_path.c_str());
+      return 1;
+    }
+    std::printf("wrote %zu decision events + %zu segments to %s\n",
+                events.size(), drift.trace.segments().size(),
+                trace_path.c_str());
+  }
   return 0;
 }

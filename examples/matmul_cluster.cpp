@@ -5,9 +5,16 @@
 /// static schemes).
 ///
 /// Usage: matmul_cluster [--n 32768] [--machines 4] [--reps 3]
+///                       [--trace-json out.json]
+///
+/// With --trace-json, one extra PLB-HeC run is traced and written as
+/// Chrome trace-event JSON — open it in Perfetto (ui.perfetto.dev) or
+/// chrome://tracing to see per-unit exec/transfer slices and the
+/// scheduler's probe/fit/solve/rebalance decisions.
 
 #include <cstdio>
 #include <memory>
+#include <vector>
 
 #include "plbhec/apps/matmul.hpp"
 #include "plbhec/baselines/acosta.hpp"
@@ -19,6 +26,8 @@
 #include "plbhec/common/table.hpp"
 #include "plbhec/core/plb_hec.hpp"
 #include "plbhec/metrics/metrics.hpp"
+#include "plbhec/obs/exporters.hpp"
+#include "plbhec/obs/sink.hpp"
 #include "plbhec/rt/engine.hpp"
 #include "plbhec/sim/machine.hpp"
 
@@ -77,5 +86,28 @@ int main(int argc, char** argv) {
     t.row().add(names[i]).add(means[i], 3).add(sds[i], 3).add(
         greedy_mean / means[i], 2);
   t.print();
+
+  const std::string trace_path = cli.get("trace-json", "");
+  if (!trace_path.empty()) {
+    obs::EventSink sink;
+    rt::EngineOptions opts;
+    opts.seed = 100;
+    opts.sink = &sink;
+    rt::SimEngine engine(cluster, opts);
+    core::PlbHecScheduler plb;
+    const rt::RunResult r = engine.run(workload, plb);
+    if (!r.ok) {
+      std::printf("traced run failed: %s\n", r.error.c_str());
+      return 1;
+    }
+    const std::vector<obs::Event> events = sink.drain();
+    if (!obs::write_chrome_trace(r, events, trace_path)) {
+      std::fprintf(stderr, "cannot write %s\n", trace_path.c_str());
+      return 1;
+    }
+    std::printf("\nwrote Chrome trace (%zu events, %zu segments) to %s\n",
+                events.size(), r.trace.segments().size(), trace_path.c_str());
+    std::printf("%s", obs::run_summary(r, events).c_str());
+  }
   return 0;
 }

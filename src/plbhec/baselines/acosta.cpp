@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "plbhec/common/contracts.hpp"
+#include "plbhec/obs/sink.hpp"
 
 namespace plbhec::baselines {
 
@@ -63,7 +64,7 @@ void AcostaScheduler::on_complete(const rt::TaskObservation& obs) {
   iter_grains_[obs.unit] += obs.grains;
 }
 
-void AcostaScheduler::on_barrier(double /*now*/) {
+void AcostaScheduler::on_barrier(double now) {
   if (equilibrium_) return;
 
   // Compute the Relative Power vector from this iteration's measurements.
@@ -88,10 +89,16 @@ void AcostaScheduler::on_barrier(double /*now*/) {
 
   // Convergence test on the time spread (the user threshold of the paper).
   const double mean_t = 0.5 * (min_t + max_t);
+  const double spread = mean_t > 0.0 ? (max_t - min_t) / mean_t : 0.0;
   if (mean_t > 0.0 && (max_t - min_t) <= options_.threshold * mean_t) {
     equilibrium_ = true;
+    PLBHEC_OBS_RECORD(sink_,
+                      {now, obs::EventKind::kIterationSync, obs::kNoUnit,
+                       spread, 0.0, iterations_, /*equilibrium=*/1});
     return;
   }
+  PLBHEC_OBS_RECORD(sink_, {now, obs::EventKind::kIterationSync, obs::kNoUnit,
+                            spread, 0.0, iterations_, /*equilibrium=*/0});
 
   // Damped update toward the measured relative powers (asymptotic).
   double sum = 0.0;

@@ -5,6 +5,8 @@
 
 #include "plbhec/common/contracts.hpp"
 #include "plbhec/fit/least_squares.hpp"
+#include "plbhec/obs/counters.hpp"
+#include "plbhec/obs/sink.hpp"
 
 namespace plbhec::baselines {
 
@@ -154,10 +156,23 @@ void HdssScheduler::on_complete(const rt::TaskObservation& obs) {
                        std::max(duration, 1e-12);
   speed_samples_[obs.unit].add(x, speed);
   update_weight(obs.unit);
+  const double rel_change =
+      prev_weight_[obs.unit] > 0.0
+          ? std::fabs(weight_[obs.unit] - prev_weight_[obs.unit]) /
+                prev_weight_[obs.unit]
+          : 0.0;
+  PLBHEC_OBS_RECORD(
+      sink_, {obs.finish_time, obs::EventKind::kWeightUpdate,
+              static_cast<std::uint32_t>(obs.unit), weight_[obs.unit],
+              rel_change, speed_samples_[obs.unit].size(), 0});
 
   if (!converged_[obs.unit]) ++phase_index_[obs.unit];
   if (all_converged() && !completion_) {
     completion_ = true;
+    PLBHEC_OBS_RECORD(sink_,
+                      {obs.finish_time, obs::EventKind::kPhaseChange,
+                       obs::kNoUnit, static_cast<double>(issued_), 0.0,
+                       /*phase=*/1, 0});
     // Divide the remaining input once, by the final weights.
     const std::size_t remaining =
         work_.total_grains > issued_ ? work_.total_grains - issued_ : 0;
@@ -166,6 +181,12 @@ void HdssScheduler::on_complete(const rt::TaskObservation& obs) {
     for (std::size_t u = 0; u < units_n_; ++u)
       allocation_[u] = shares[u] * static_cast<double>(remaining);
   }
+}
+
+void HdssScheduler::publish_counters(obs::CounterRegistry& registry) const {
+  registry.set("hdss.fit.gram_solves", fit_counters_.gram_solves);
+  registry.set("hdss.fit.qr_solves", fit_counters_.qr_solves);
+  registry.set("hdss.fit.qr_fallbacks", fit_counters_.qr_fallbacks);
 }
 
 void HdssScheduler::on_unit_failed(rt::UnitId unit, std::size_t lost_grains,

@@ -29,6 +29,10 @@
 #include "plbhec/fit/samples.hpp"
 #include "plbhec/rt/scheduler.hpp"
 
+namespace plbhec::obs {
+class CounterRegistry;
+}
+
 namespace plbhec::baselines {
 
 struct HdssOptions {
@@ -67,6 +71,10 @@ class HdssScheduler final : public rt::Scheduler {
   [[nodiscard]] const fit::FitCounters& fit_counters() const {
     return fit_counters_;
   }
+
+  /// Publishes the weight-fit counters under the "hdss." prefix (one
+  /// snapshot per call; values overwrite).
+  void publish_counters(obs::CounterRegistry& registry) const;
 
  private:
   void update_weight(rt::UnitId u);

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "plbhec/common/contracts.hpp"
+#include "plbhec/obs/sink.hpp"
 
 namespace plbhec::baselines {
 
@@ -40,11 +41,14 @@ std::size_t StaticProfileScheduler::next_block(rt::UnitId unit,
 }
 
 void StaticProfileScheduler::on_unit_failed(rt::UnitId unit, std::size_t,
-                                            double /*now*/) {
+                                            double now) {
   // Static algorithm: no redistribution. The unit's share is simply lost
   // to the pool and picked up grain-by-grain by whoever asks last.
   PLBHEC_EXPECTS(unit < weights_.size());
   failed_[unit] = true;
+  PLBHEC_OBS_RECORD(sink_, {now, obs::EventKind::kWeightUpdate,
+                            static_cast<std::uint32_t>(unit),
+                            /*weight=*/0.0, /*rel_change=*/1.0, 0, 0});
 }
 
 std::vector<double> oracle_static_weights(const sim::SimCluster& cluster,

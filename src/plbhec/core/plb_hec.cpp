@@ -4,8 +4,29 @@
 #include <cmath>
 
 #include "plbhec/common/contracts.hpp"
+#include "plbhec/obs/counters.hpp"
+#include "plbhec/obs/sink.hpp"
 
 namespace plbhec::core {
+
+void publish_counters(obs::CounterRegistry& registry,
+                      const PlbHecStats& stats) {
+  registry.set("plbhec.probe_rounds", stats.probe_rounds);
+  registry.set("plbhec.solves", stats.solves);
+  registry.set("plbhec.refinements", stats.refinements);
+  registry.set("plbhec.rebalances", stats.rebalances);
+  registry.set("plbhec.fallback_solves", stats.fallback_solves);
+  registry.set("plbhec.warm_solves", stats.warm_solves);
+  registry.set("plbhec.kkt_solves", stats.kkt_solves);
+  registry.set("plbhec.kkt_solves_saved", stats.kkt_solves_saved);
+  registry.set("plbhec.modeling_grains",
+               static_cast<std::uint64_t>(stats.modeling_grains));
+  registry.set("plbhec.fit.computed", stats.fits_computed);
+  registry.set("plbhec.fit.cached", stats.fits_cached);
+  registry.set("plbhec.fit.gram_solves", stats.gram_solves);
+  registry.set("plbhec.fit.qr_solves", stats.qr_solves);
+  registry.set("plbhec.fit.qr_fallbacks", stats.qr_fallbacks);
+}
 
 PlbHecScheduler::PlbHecScheduler(PlbHecOptions options)
     : options_(std::move(options)) {
@@ -46,6 +67,7 @@ void PlbHecScheduler::start(const std::vector<rt::UnitInfo>& units,
   cold_kkt_solves_ = 0;
   issue_gen_.assign(units.size(), 0);
   grains_consumed_ = 0.0;
+  last_now_ = 0.0;
   stats_ = {};
 }
 
@@ -107,8 +129,9 @@ std::size_t PlbHecScheduler::plan_probe_block(rt::UnitId unit) const {
   return std::max<std::size_t>(1, static_cast<std::size_t>(std::llround(size)));
 }
 
-std::size_t PlbHecScheduler::next_block(rt::UnitId unit, double /*now*/) {
+std::size_t PlbHecScheduler::next_block(rt::UnitId unit, double now) {
   PLBHEC_EXPECTS(unit < units_.size());
+  last_now_ = now;
   if (failed_[unit]) return 0;
 
   if (phase_ == Phase::kModeling) {
@@ -116,6 +139,9 @@ std::size_t PlbHecScheduler::next_block(rt::UnitId unit, double /*now*/) {
     issued_grains_ += block;
     modeling_issued_ += block;
     issue_gen_[unit] = generation_;
+    PLBHEC_OBS_RECORD(sink_, {now, obs::EventKind::kProbeIssued,
+                              static_cast<std::uint32_t>(unit), 0.0, 0.0,
+                              block, probe_count_[unit] + 1});
     return block;
   }
 
@@ -182,6 +208,10 @@ void PlbHecScheduler::maybe_finish_modeling() {
 
   if ((enough_samples && fits_acceptable) || data_cap_hit) {
     phase_ = Phase::kExecuting;
+    PLBHEC_OBS_RECORD(sink_, {last_now_, obs::EventKind::kPhaseChange,
+                              obs::kNoUnit, stats_.modeling_grains, 0.0,
+                              static_cast<std::uint64_t>(Phase::kExecuting),
+                              0});
     fit_and_select();
   }
   sync_fit_stats();
@@ -189,6 +219,7 @@ void PlbHecScheduler::maybe_finish_modeling() {
 
 void PlbHecScheduler::on_complete(const rt::TaskObservation& obs) {
   PLBHEC_EXPECTS(obs.unit < units_.size());
+  last_now_ = obs.finish_time;
   profiles_.record(obs);
   grains_consumed_ += static_cast<double>(obs.grains);
 
@@ -226,6 +257,8 @@ void PlbHecScheduler::on_complete(const rt::TaskObservation& obs) {
     if (all_sampled) {
       --refine_budget_;
       ++stats_.refinements;
+      PLBHEC_OBS_RECORD(sink_, {obs.finish_time, obs::EventKind::kRefinement,
+                                obs::kNoUnit, 0.0, 0.0, refine_budget_, 0});
       fit_and_select();
       return;
     }
@@ -265,6 +298,11 @@ void PlbHecScheduler::on_complete(const rt::TaskObservation& obs) {
       bonus_unit_ = obs.unit;
       threshold_strikes_.assign(units_.size(), 0);
       ++stats_.rebalances;
+      PLBHEC_OBS_RECORD(sink_,
+                        {obs.finish_time, obs::EventKind::kRebalanceTriggered,
+                         static_cast<std::uint32_t>(obs.unit), deviation,
+                         options_.rebalance_threshold,
+                         options_.rebalance_strikes, 0});
     }
   } else {
     threshold_strikes_[obs.unit] = 0;
@@ -291,6 +329,11 @@ void PlbHecScheduler::fit_and_select() {
   for (rt::UnitId u = 0; u < units_.size(); ++u) {
     if (failed_[u]) continue;
     PLBHEC_ASSERT(models_[u].valid());
+    PLBHEC_OBS_RECORD(
+        sink_, {last_now_, obs::EventKind::kModelFitted,
+                static_cast<std::uint32_t>(u), models_[u].exec.r2, 0.0,
+                profiles_.exec_samples(u).size(),
+                models_[u].exec.r2 >= options_.fit.r2_threshold ? 1u : 0u});
     alive_models.push_back(models_[u]);
     alive_ids.push_back(u);
   }
@@ -318,6 +361,11 @@ void PlbHecScheduler::fit_and_select() {
   const solver::BlockSelection sel =
       solver::select_block_sizes(alive_models, sel_opt);
   ++stats_.solves;
+  PLBHEC_OBS_RECORD(sink_,
+                    {last_now_, obs::EventKind::kSolve, obs::kNoUnit,
+                     sel.solve_seconds, sel.predicted_time, sel.ip.kkt_solves,
+                     (sel.warm_started ? 1u : 0u) |
+                         (sel.used_fallback ? 2u : 0u)});
   stats_.solve_seconds.push_back(sel.solve_seconds);
   if (sel.used_fallback) ++stats_.fallback_solves;
   stats_.kkt_solves += sel.ip.kkt_solves;
@@ -357,13 +405,18 @@ void PlbHecScheduler::fit_and_select() {
   gen_samples_.assign(units_.size(), 0);
 }
 
-void PlbHecScheduler::on_barrier(double /*now*/) {
+void PlbHecScheduler::on_barrier(double now) {
+  last_now_ = now;
   if (phase_ == Phase::kModeling) {
     // Asynchronous probing never parks units, so a barrier here means the
     // engine drained for another reason (e.g. failures): force selection.
     maybe_finish_modeling();
     if (phase_ == Phase::kModeling) {
       phase_ = Phase::kExecuting;
+      PLBHEC_OBS_RECORD(sink_, {now, obs::EventKind::kPhaseChange,
+                                obs::kNoUnit, stats_.modeling_grains, 0.0,
+                                static_cast<std::uint64_t>(Phase::kExecuting),
+                                0});
       fit_and_select();
     }
     return;
@@ -385,8 +438,9 @@ void PlbHecScheduler::on_barrier(double /*now*/) {
 
 void PlbHecScheduler::on_unit_failed(rt::UnitId unit,
                                      std::size_t lost_grains,
-                                     double /*now*/) {
+                                     double now) {
   PLBHEC_EXPECTS(unit < units_.size());
+  last_now_ = now;
   if (failed_[unit]) return;
   failed_[unit] = true;
   // The unit's in-flight block returned to the pool: credit it back so the

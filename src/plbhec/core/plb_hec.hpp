@@ -28,6 +28,10 @@
 #include "plbhec/rt/scheduler.hpp"
 #include "plbhec/solver/block_selection.hpp"
 
+namespace plbhec::obs {
+class CounterRegistry;
+}
+
 namespace plbhec::core {
 
 struct PlbHecOptions {
@@ -91,6 +95,12 @@ struct PlbHecStats {
   std::size_t qr_solves = 0;       ///< subset fits via design-matrix QR
   std::size_t qr_fallbacks = 0;    ///< Gram-path conditioning bailouts
 };
+
+/// Publishes the scheduler statistics into a counter registry under the
+/// "plbhec." prefix — the CounterRegistry unification of the ad-hoc stats
+/// (one snapshot per call; values overwrite).
+void publish_counters(obs::CounterRegistry& registry,
+                      const PlbHecStats& stats);
 
 class PlbHecScheduler final : public rt::Scheduler {
  public:
@@ -165,6 +175,9 @@ class PlbHecScheduler final : public rt::Scheduler {
                                              ///< engine keeps at most one
                                              ///< task in flight per unit)
   double grains_consumed_ = 0.0;
+  double last_now_ = 0.0;  ///< latest virtual time seen from the engine;
+                           ///< timestamps decision events raised from
+                           ///< callbacks that carry no clock (fit/solve)
 
   PlbHecStats stats_;
 };

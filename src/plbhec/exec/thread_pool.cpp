@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <exception>
+#include <string>
+
+#include "plbhec/obs/counters.hpp"
 
 namespace plbhec::exec {
 
@@ -127,6 +130,7 @@ void ThreadPool::enqueue(detail::TaskNode* node) {
   if (id.pool == this) {
     deques_[id.index]->push(node);
   } else {
+    injected_.fetch_add(1, std::memory_order_relaxed);
     std::lock_guard lock(inject_mutex_);
     inject_.push_back(node);
   }
@@ -158,7 +162,10 @@ detail::TaskNode* ThreadPool::try_acquire(std::size_t self) {
   for (std::size_t sweep = 0; sweep < 2; ++sweep) {
     for (std::size_t i = 1; i < n; ++i) {
       const std::size_t victim = (self + i) % n;
-      if (detail::TaskNode* t = deques_[victim]->steal()) return t;
+      if (detail::TaskNode* t = deques_[victim]->steal()) {
+        steals_.fetch_add(1, std::memory_order_relaxed);
+        return t;
+      }
     }
   }
   return nullptr;
@@ -170,6 +177,7 @@ void ThreadPool::worker_loop(std::size_t index) {
     detail::TaskNode* task = try_acquire(index);
     if (task != nullptr) {
       pending_.fetch_sub(1, std::memory_order_relaxed);
+      tasks_executed_.fetch_add(1, std::memory_order_relaxed);
       task->run();
       delete task;
       if (in_flight_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
@@ -201,10 +209,30 @@ void ThreadPool::wait_idle() {
   });
 }
 
+PoolStats ThreadPool::stats() const {
+  PoolStats s;
+  s.tasks_executed = tasks_executed_.load(std::memory_order_relaxed);
+  s.steals = steals_.load(std::memory_order_relaxed);
+  s.injected = injected_.load(std::memory_order_relaxed);
+  s.parallel_fors = parallel_fors_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void ThreadPool::publish_counters(obs::CounterRegistry& registry,
+                                  std::string_view prefix) const {
+  const PoolStats s = stats();
+  const std::string p(prefix);
+  registry.set(p + "tasks_executed", s.tasks_executed);
+  registry.set(p + "steals", s.steals);
+  registry.set(p + "injected", s.injected);
+  registry.set(p + "parallel_fors", s.parallel_fors);
+}
+
 void ThreadPool::parallel_for(
     std::size_t begin, std::size_t end, std::size_t grain,
     const std::function<void(std::size_t, std::size_t)>& body) {
   if (end <= begin) return;
+  parallel_fors_.fetch_add(1, std::memory_order_relaxed);
   const std::size_t total = end - begin;
   if (grain == 0)
     grain = std::max<std::size_t>(

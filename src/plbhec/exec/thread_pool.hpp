@@ -26,8 +26,13 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <string_view>
 #include <thread>
 #include <vector>
+
+namespace plbhec::obs {
+class CounterRegistry;
+}
 
 namespace plbhec::exec {
 
@@ -76,6 +81,15 @@ class StealDeque {
 
 }  // namespace detail
 
+/// Lifetime work-distribution counters of a pool (monotonic; a snapshot,
+/// not a consistent cut — counts are relaxed atomics).
+struct PoolStats {
+  std::uint64_t tasks_executed = 0;  ///< task nodes run by worker threads
+  std::uint64_t steals = 0;          ///< tasks taken from another worker's deque
+  std::uint64_t injected = 0;        ///< tasks enqueued by non-worker threads
+  std::uint64_t parallel_fors = 0;   ///< parallel_for regions dispatched
+};
+
 class ThreadPool {
  public:
   /// Spawns `workers` persistent worker threads (0 is valid: every
@@ -111,6 +125,14 @@ class ThreadPool {
   /// does not need this).
   void wait_idle();
 
+  /// Snapshot of the lifetime work-distribution counters.
+  [[nodiscard]] PoolStats stats() const;
+
+  /// Publishes the stats into a counter registry under `prefix` (e.g.
+  /// "pool." yields "pool.steals"). One snapshot per call; values overwrite.
+  void publish_counters(obs::CounterRegistry& registry,
+                        std::string_view prefix = "pool.") const;
+
  private:
   friend struct detail::TaskNode;
 
@@ -133,6 +155,11 @@ class ThreadPool {
   std::mutex idle_mutex_;
   std::condition_variable idle_cv_;
   std::atomic<std::int64_t> in_flight_{0};  ///< queued + running task nodes
+
+  std::atomic<std::uint64_t> tasks_executed_{0};
+  std::atomic<std::uint64_t> steals_{0};
+  std::atomic<std::uint64_t> injected_{0};
+  std::atomic<std::uint64_t> parallel_fors_{0};
 };
 
 /// Convenience wrapper over the global pool.

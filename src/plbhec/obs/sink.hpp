@@ -1,0 +1,107 @@
+#pragma once
+/// \file sink.hpp
+/// Low-overhead typed event sink. Recording threads append to per-thread
+/// shards (one cache-warm vector per recording thread, found through a
+/// thread-local fast path) and the shards are merged into one time-sorted
+/// stream by drain() at run end, so recording never contends across
+/// threads and never allocates on the hot path once a shard has warmed up.
+///
+/// The whole sink compiles to no-ops when the build sets
+/// PLBHEC_OBS_ENABLED=0 (CMake option PLBHEC_OBS=OFF): record() becomes an
+/// empty inline function and the PLBHEC_OBS_RECORD macro discards its
+/// arguments unevaluated, so instrumented call sites cost nothing.
+
+#include <cstddef>
+#include <vector>
+
+#include "plbhec/obs/events.hpp"
+
+#ifndef PLBHEC_OBS_ENABLED
+#define PLBHEC_OBS_ENABLED 1
+#endif
+
+#if PLBHEC_OBS_ENABLED
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#endif
+
+namespace plbhec::obs {
+
+/// True when the build compiled the event sink in (PLBHEC_OBS=ON).
+inline constexpr bool kCompiledIn = PLBHEC_OBS_ENABLED != 0;
+
+#if PLBHEC_OBS_ENABLED
+
+class EventSink {
+ public:
+  EventSink();
+  ~EventSink();
+  EventSink(const EventSink&) = delete;
+  EventSink& operator=(const EventSink&) = delete;
+
+  /// Appends an event to the calling thread's shard. Thread-safe; a no-op
+  /// while the sink is runtime-disabled.
+  void record(const Event& event);
+
+  /// Runtime switch (cheap relaxed load on the record path). Sinks start
+  /// enabled.
+  void set_enabled(bool enabled) {
+    enabled_.store(enabled, std::memory_order_relaxed);
+  }
+  [[nodiscard]] bool enabled() const {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  /// Merges every shard into one stream sorted by time (stable, so
+  /// same-timestamp events keep their per-thread record order) and clears
+  /// the shards. Safe to call concurrently with record(), but the natural
+  /// call site is after the run / pool has quiesced.
+  [[nodiscard]] std::vector<Event> drain();
+
+  /// Total buffered events across shards (approximate under concurrent
+  /// recording).
+  [[nodiscard]] std::size_t size() const;
+
+  struct Shard;  ///< public name so the thread-local cache can point at one
+
+ private:
+  /// Finds (or registers) the calling thread's shard; the fast path is one
+  /// thread_local compare.
+  Shard& local_shard();
+
+  mutable std::mutex mutex_;  ///< guards shard registration and drain
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<bool> enabled_{true};
+  std::uint64_t epoch_;  ///< process-unique sink id for the TLS fast path
+};
+
+/// Records an event iff `sink` is non-null; compiles away entirely (the
+/// event expression is never evaluated) in PLBHEC_OBS=OFF builds.
+#define PLBHEC_OBS_RECORD(sink, ...)                   \
+  do {                                                 \
+    if ((sink) != nullptr) (sink)->record(__VA_ARGS__); \
+  } while (0)
+
+#else  // !PLBHEC_OBS_ENABLED
+
+/// No-op stand-in: every member is an empty inline, so instrumented code
+/// compiles unchanged and the optimizer deletes the calls.
+class EventSink {
+ public:
+  void record(const Event&) {}
+  void set_enabled(bool) {}
+  [[nodiscard]] bool enabled() const { return false; }
+  [[nodiscard]] std::vector<Event> drain() { return {}; }
+  [[nodiscard]] std::size_t size() const { return 0; }
+};
+
+#define PLBHEC_OBS_RECORD(sink, ...) \
+  do {                               \
+  } while (0)
+
+#endif  // PLBHEC_OBS_ENABLED
+
+}  // namespace plbhec::obs

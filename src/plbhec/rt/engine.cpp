@@ -67,6 +67,8 @@ RunResult SimEngine::run(Workload& workload, Scheduler& scheduler) {
   // modeling phase costs ~10% of the run, which total/512 approximates for
   // the evaluated applications. Schedulers and benches may override.
   work.initial_block = std::max<std::size_t>(1, total / 512);
+  obs::EventSink* const sink = options_.sink;
+  scheduler.set_event_sink(sink);
   scheduler.start(units_, work);
 
   const sim::WorkloadProfile profile = workload.profile();
@@ -96,6 +98,9 @@ RunResult SimEngine::run(Workload& workload, Scheduler& scheduler) {
     if (su.failed_at(now)) {
       dead[unit] = true;
       result.unit_stats[unit].failed = true;
+      PLBHEC_OBS_RECORD(sink, {now, obs::EventKind::kUnitFailed,
+                               static_cast<std::uint32_t>(unit), 0.0, 0.0, 0,
+                               0});
       scheduler.on_unit_failed(unit, 0, now);
       return false;
     }
@@ -129,6 +134,10 @@ RunResult SimEngine::run(Workload& workload, Scheduler& scheduler) {
     in_flight[unit] = task;
     busy[unit] = true;
 
+    PLBHEC_OBS_RECORD(sink, {now, obs::EventKind::kBlockDispatched,
+                             static_cast<std::uint32_t>(unit), 0.0, 0.0,
+                             grains, sequence});
+
     const double finish = now + transfer_s + exec_s;
     const auto failure = su.failure_time();
     if (failure && *failure < finish && *failure >= now) {
@@ -161,6 +170,8 @@ RunResult SimEngine::run(Workload& workload, Scheduler& scheduler) {
         return result;
       }
       ++result.barriers;
+      PLBHEC_OBS_RECORD(sink, {now, obs::EventKind::kBarrier, obs::kNoUnit,
+                               0.0, 0.0, result.barriers, 0});
       scheduler.on_barrier(now);
       if (assignment_round() == 0) {
         result.error = "scheduler refused to assign work after barrier";
@@ -188,6 +199,9 @@ RunResult SimEngine::run(Workload& workload, Scheduler& scheduler) {
       dead[ev.unit] = true;
       result.unit_stats[ev.unit].failed = true;
       lost_grains += task.grains;  // work lost with the unit
+      PLBHEC_OBS_RECORD(sink, {now, obs::EventKind::kUnitFailed,
+                               static_cast<std::uint32_t>(ev.unit), 0.0, 0.0,
+                               task.grains, 0});
       scheduler.on_unit_failed(ev.unit, task.grains, now);
       assignment_round();
       continue;

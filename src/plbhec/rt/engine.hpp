@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "plbhec/obs/sink.hpp"
 #include "plbhec/rt/scheduler.hpp"
 #include "plbhec/rt/trace.hpp"
 #include "plbhec/rt/workload.hpp"
@@ -23,6 +24,10 @@ struct EngineOptions {
   bool record_trace = true;      ///< keep the full segment trace
   double max_sim_time = 1e9;     ///< watchdog: abort runs past this (seconds)
   std::size_t max_events = 50'000'000;  ///< watchdog: abort runaway loops
+  /// Observability sink for dispatch/barrier/failure events; also handed
+  /// to the scheduler before start() so its decisions land in the same
+  /// stream. Null = record nothing. Not owned.
+  obs::EventSink* sink = nullptr;
 };
 
 /// Per-unit aggregate statistics of one run.

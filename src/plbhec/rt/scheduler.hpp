@@ -14,11 +14,20 @@
 
 #include "plbhec/rt/types.hpp"
 
+namespace plbhec::obs {
+class EventSink;
+}
+
 namespace plbhec::rt {
 
 class Scheduler {
  public:
   virtual ~Scheduler() = default;
+
+  /// Wires the observability sink the scheduler records its decisions
+  /// into (may be null = record nothing). The engine calls this before
+  /// start() with the sink from its EngineOptions.
+  void set_event_sink(obs::EventSink* sink) { sink_ = sink; }
 
   [[nodiscard]] virtual std::string name() const = 0;
 
@@ -44,6 +53,9 @@ class Scheduler {
   /// (schedulers that never see failures need no handling).
   virtual void on_unit_failed(UnitId unit, std::size_t lost_grains,
                               double now);
+
+ protected:
+  obs::EventSink* sink_ = nullptr;  ///< decision-event sink; may be null
 };
 
 }  // namespace plbhec::rt

@@ -1,0 +1,144 @@
+#!/usr/bin/env python3
+"""Bench-JSON regression gate.
+
+Compares a freshly produced bench JSON (bench_kernels / bench_fit /
+bench_observe --smoke output) against the committed baseline in
+bench/results/ and fails when a machine-independent *ratio* has
+collapsed or a correctness residual has blown up.
+
+Absolute timings (``*_us``, ``*gflops``) and machine facts
+(``hardware_concurrency``) are machine-dependent and are only checked
+structurally (key present, right type). Ratio keys are compared with
+generous floors -- CI machines are noisy and slower than the machine
+that produced the committed numbers; the gate is meant to catch "the
+optimization is gone", not a 20% wobble:
+
+* ``speedup``              fresh >= 0.20 x baseline
+* ``overhead_ratio``       fresh >= 0.05 x baseline
+* ``parallel_speedup``     fresh >= 0.05 x baseline
+* ``cache_speedup``        fresh >= 0.05 x baseline
+* ``overhead_pct``         fresh <= max(2.0, 2 x baseline)  (cost, lower=better)
+* ``max_rel_diff``         fresh <= max(1e-6, 100 x baseline)
+* ``max_abs_diff``         fresh <= max(1e-6, 100 x baseline)
+
+Identity keys (``n``, ``samples``, ``lanes``, ``units``, ...) and the
+overall JSON structure must match exactly, so a silently shrunk sweep
+also fails the gate.
+
+Usage:  check_bench.py BASELINE.json FRESH.json [more pairs ...]
+Exit:   0 all gates pass, 1 otherwise (every violation is printed).
+"""
+
+import json
+import sys
+
+# key -> (kind, factor); kind "floor" = fresh >= factor * base,
+# "ceil" = fresh <= max(abs_floor, factor * base).
+RATIO_GATES = {
+    "speedup": ("floor", 0.20),
+    "overhead_ratio": ("floor", 0.05),
+    "parallel_speedup": ("floor", 0.05),
+    "cache_speedup": ("floor", 0.05),
+}
+CEIL_GATES = {
+    "overhead_pct": 2.0,  # abs ceiling; recording must stay under 2%
+    "max_rel_diff": 1e-6,
+    "max_abs_diff": 1e-6,
+}
+# Machine-dependent values: type-checked only.
+IGNORED_SUFFIXES = ("_us", "gflops")
+IGNORED_KEYS = {"hardware_concurrency", "reps", "genes", "events"}
+# Sweep-identity keys: must be exactly equal.
+IDENTITY_KEYS = {"n", "samples", "lanes", "units", "samples_per_unit",
+                 "benchmark", "compiled_in", "makespan_equal"}
+
+
+def fail(errors, path, message):
+    errors.append(f"  {path}: {message}")
+
+
+def is_ignored(key):
+    return key in IGNORED_KEYS or any(key.endswith(s) for s in IGNORED_SUFFIXES)
+
+
+def compare(base, fresh, path, errors):
+    if type(base) is not type(fresh) and not (
+            isinstance(base, (int, float)) and isinstance(fresh, (int, float))):
+        fail(errors, path, f"type changed: {type(base).__name__} -> "
+                           f"{type(fresh).__name__}")
+        return
+    if isinstance(base, dict):
+        if set(base) != set(fresh):
+            missing = sorted(set(base) - set(fresh))
+            extra = sorted(set(fresh) - set(base))
+            fail(errors, path, f"keys changed (missing={missing}, "
+                               f"extra={extra})")
+            return
+        for key in base:
+            compare(base[key], fresh[key], f"{path}.{key}", errors)
+        return
+    if isinstance(base, list):
+        if len(base) != len(fresh):
+            fail(errors, path, f"sweep length {len(base)} -> {len(fresh)}")
+            return
+        for i, (b, f) in enumerate(zip(base, fresh)):
+            compare(b, f, f"{path}[{i}]", errors)
+        return
+
+    key = path.rsplit(".", 1)[-1].split("[")[0]
+    if key in IDENTITY_KEYS:
+        if base != fresh:
+            fail(errors, path, f"identity value changed: {base!r} -> "
+                               f"{fresh!r}")
+        return
+    if is_ignored(key):
+        return
+    if key in RATIO_GATES:
+        _, factor = RATIO_GATES[key]
+        floor = factor * base
+        if fresh < floor:
+            fail(errors, path, f"ratio collapsed: {fresh:.3g} < "
+                               f"{floor:.3g} (= {factor} x baseline "
+                               f"{base:.3g})")
+        return
+    if key in CEIL_GATES:
+        ceiling = max(CEIL_GATES[key], 100.0 * base) \
+            if key.startswith("max_") else max(CEIL_GATES[key], 2.0 * base)
+        if fresh > ceiling:
+            fail(errors, path, f"residual blew up: {fresh:.3g} > "
+                               f"{ceiling:.3g} (baseline {base:.3g})")
+        return
+    # Unknown numeric/string key: tolerated, so adding new fields to a
+    # bench JSON does not require touching this gate (removing fields
+    # still fails the structural check above).
+
+
+def main(argv):
+    if len(argv) < 3 or len(argv) % 2 == 0:
+        print(__doc__)
+        return 2
+    failures = 0
+    for i in range(1, len(argv), 2):
+        base_path, fresh_path = argv[i], argv[i + 1]
+        try:
+            with open(base_path) as f:
+                base = json.load(f)
+            with open(fresh_path) as f:
+                fresh = json.load(f)
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"FAIL {base_path} vs {fresh_path}: {exc}")
+            failures += 1
+            continue
+        errors = []
+        compare(base, fresh, base.get("benchmark", base_path), errors)
+        if errors:
+            print(f"FAIL {fresh_path} regressed against {base_path}:")
+            print("\n".join(errors))
+            failures += 1
+        else:
+            print(f"OK   {fresh_path} within tolerance of {base_path}")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
