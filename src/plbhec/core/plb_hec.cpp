@@ -21,6 +21,11 @@ void publish_counters(obs::CounterRegistry& registry,
   registry.set("plbhec.kkt_solves_saved", stats.kkt_solves_saved);
   registry.set("plbhec.modeling_grains",
                static_cast<std::uint64_t>(stats.modeling_grains));
+  registry.set("plbhec.probe_blocks", stats.probe_blocks);
+  registry.set("plbhec.warmstart.hits", stats.warm_hits);
+  registry.set("plbhec.warmstart.misses", stats.warm_misses);
+  registry.set("plbhec.warmstart.probe_blocks_saved",
+               stats.probe_blocks_saved);
   registry.set("plbhec.fit.computed", stats.fits_computed);
   registry.set("plbhec.fit.cached", stats.fits_cached);
   registry.set("plbhec.fit.gram_solves", stats.gram_solves);
@@ -52,6 +57,20 @@ void PlbHecScheduler::start(const std::vector<rt::UnitInfo>& units,
   prev_probe_grains_.assign(units.size(), 0.0);
   prev_probe_time_.assign(units.size(), 0.0);
   modeling_issued_ = 0;
+  warm_state_.assign(units.size(), WarmState::kCold);
+  for (rt::UnitId u = 0; u < units.size() && u < options_.warm.size(); ++u) {
+    const rt::WarmProfile& warm = options_.warm[u];
+    if (!warm.usable() || warm.stored_r2 < options_.fit.r2_threshold)
+      continue;
+    profiles_.seed(u, warm);
+    // Rescaled seeding drops fractions outside (0, 1]; a remnant too small
+    // to fit from is useless — revert to cold probing.
+    if (profiles_.exec_samples(u).size() < 3) {
+      profiles_.clear_unit(u);
+      continue;
+    }
+    warm_state_[u] = WarmState::kPending;
+  }
   failed_.assign(units.size(), false);
   models_.clear();
   fractions_.clear();
@@ -87,10 +106,14 @@ std::size_t PlbHecScheduler::plan_probe_block(rt::UnitId unit) const {
   // the same for 10 or 100 grains) and would shrink their probes into a
   // dead end, while the marginal cost correctly signals "bigger blocks are
   // nearly free here".
+  // A pending warm-start unit issues a single validation block of the
+  // initial size: cheap, and well inside the stored curve's probed range.
   const std::size_t k = probe_count_[unit];  // probes already done
-  const double multiplier = std::min(
-      std::pow(2.0, static_cast<double>(k)),
-      static_cast<double>(options_.max_probe_multiplier));
+  const double multiplier =
+      warm_state_[unit] == WarmState::kPending
+          ? 1.0
+          : std::min(std::pow(2.0, static_cast<double>(k)),
+                     static_cast<double>(options_.max_probe_multiplier));
 
   auto marginal_tau = [&](rt::UnitId u) -> double {
     if (last_probe_grains_[u] <= 0.0 || last_probe_time_[u] <= 0.0)
@@ -220,6 +243,18 @@ void PlbHecScheduler::maybe_finish_modeling() {
 void PlbHecScheduler::on_complete(const rt::TaskObservation& obs) {
   PLBHEC_EXPECTS(obs.unit < units_.size());
   last_now_ = obs.finish_time;
+
+  // Warm validation predicts the block from the *seeded* fit, so the
+  // prediction must be taken before the observation is folded in.
+  double warm_predicted = -1.0;
+  if (phase_ == Phase::kModeling &&
+      warm_state_[obs.unit] == WarmState::kPending && obs.grains > 0) {
+    const fit::PerfModel seeded = profiles_.fit_unit(obs.unit, options_.fit);
+    if (seeded.valid())
+      warm_predicted =
+          seeded.total_time(profiles_.grains_to_fraction(obs.grains));
+  }
+
   profiles_.record(obs);
   grains_consumed_ += static_cast<double>(obs.grains);
 
@@ -228,14 +263,20 @@ void PlbHecScheduler::on_complete(const rt::TaskObservation& obs) {
     per_grain_[obs.unit] = duration / static_cast<double>(obs.grains);
 
   if (phase_ == Phase::kModeling) {
-    ++probe_count_[obs.unit];
-    stats_.probe_rounds =
-        std::max(stats_.probe_rounds, probe_count_[obs.unit]);
+    ++stats_.probe_blocks;
     stats_.modeling_grains += static_cast<double>(obs.grains);
     prev_probe_grains_[obs.unit] = last_probe_grains_[obs.unit];
     prev_probe_time_[obs.unit] = last_probe_time_[obs.unit];
     last_probe_grains_[obs.unit] = static_cast<double>(obs.grains);
     last_probe_time_[obs.unit] = duration;
+    bool counted = false;
+    if (warm_state_[obs.unit] == WarmState::kPending)
+      counted = resolve_warm_validation(obs, warm_predicted);
+    if (!counted) {
+      ++probe_count_[obs.unit];
+      stats_.probe_rounds =
+          std::max(stats_.probe_rounds, probe_count_[obs.unit]);
+    }
     maybe_finish_modeling();
     return;
   }
@@ -307,6 +348,44 @@ void PlbHecScheduler::on_complete(const rt::TaskObservation& obs) {
   } else {
     threshold_strikes_[obs.unit] = 0;
   }
+}
+
+bool PlbHecScheduler::resolve_warm_validation(const rt::TaskObservation& obs,
+                                              double predicted) {
+  const double duration = obs.transfer_seconds + obs.exec_seconds;
+  const fit::FitResult refit = profiles_.exec_fit(obs.unit, options_.fit);
+  const double rel_error =
+      predicted > 0.0 ? std::fabs(duration - predicted) / predicted : 1e300;
+  const std::uint64_t seeded_samples =
+      profiles_.exec_samples(obs.unit).size();
+
+  if (refit.acceptable && rel_error <= options_.warm_rel_error) {
+    warm_state_[obs.unit] = WarmState::kValidated;
+    // The stored curve stands in for the probe schedule: mark the unit
+    // fully probed so modeling can finish after this single block. The
+    // real block count lives in stats_.probe_blocks.
+    const std::size_t full =
+        std::max<std::size_t>(options_.min_probe_rounds, 1);
+    stats_.probe_blocks_saved += full - 1;
+    probe_count_[obs.unit] = full;
+    ++stats_.warm_hits;
+    PLBHEC_OBS_RECORD(sink_, {obs.finish_time, obs::EventKind::kWarmStartHit,
+                              static_cast<std::uint32_t>(obs.unit), rel_error,
+                              refit.r2, seeded_samples, 0});
+    return true;
+  }
+
+  // The stored profile no longer describes this (workload, device) pair:
+  // drop the seeded samples and re-record the validation block as the
+  // first sample of a cold probing schedule.
+  profiles_.clear_unit(obs.unit);
+  profiles_.record(obs);
+  warm_state_[obs.unit] = WarmState::kCold;
+  ++stats_.warm_misses;
+  PLBHEC_OBS_RECORD(sink_, {obs.finish_time, obs::EventKind::kWarmStartMiss,
+                            static_cast<std::uint32_t>(obs.unit), rel_error,
+                            refit.r2, seeded_samples, 0});
+  return false;
 }
 
 void PlbHecScheduler::sync_fit_stats() {

@@ -72,6 +72,19 @@ struct PlbHecOptions {
   fit::SelectionOptions fit;
   /// Interior-point block-selection configuration.
   solver::BlockSelectionOptions selection;
+  /// Per-unit warm-start profiles (the service layer loads these from its
+  /// ProfileStore at job admission), indexed by the unit ids passed to
+  /// start(). A unit whose stored profile has stored_r2 >= fit.r2_threshold
+  /// is seeded with the persisted samples and issues ONE cheap validation
+  /// block instead of the exponential probe schedule; if the seeded fit
+  /// still predicts that block within warm_rel_error, the unit's modeling
+  /// is complete (warm hit). Otherwise the stored samples are dropped and
+  /// the unit falls back to cold probing (warm miss). Units beyond the
+  /// vector, or with unusable entries, always cold-start.
+  std::vector<rt::WarmProfile> warm;
+  /// Relative error bound of the warm validation rule: |observed -
+  /// predicted| / predicted on the validation block must stay under this.
+  double warm_rel_error = 0.35;
 };
 
 /// Diagnostics exposed for the benchmark harness.
@@ -94,6 +107,11 @@ struct PlbHecStats {
   std::size_t gram_solves = 0;     ///< subset fits via cached moments
   std::size_t qr_solves = 0;       ///< subset fits via design-matrix QR
   std::size_t qr_fallbacks = 0;    ///< Gram-path conditioning bailouts
+  std::size_t probe_blocks = 0;    ///< modeling-phase blocks completed
+  std::size_t warm_hits = 0;       ///< units whose stored profile validated
+  std::size_t warm_misses = 0;     ///< stored profiles rejected at validation
+  std::size_t probe_blocks_saved = 0;  ///< schedule blocks skipped by warm
+                                       ///< hits (min_probe_rounds - 1 each)
 };
 
 /// Publishes the scheduler statistics into a counter registry under the
@@ -130,8 +148,16 @@ class PlbHecScheduler final : public rt::Scheduler {
 
  private:
   enum class Phase { kModeling, kExecuting };
+  /// Warm-start lifecycle of one unit: kPending between seeding and the
+  /// validation block's completion; kValidated counts as fully probed.
+  enum class WarmState : std::uint8_t { kCold, kPending, kValidated };
 
   [[nodiscard]] std::size_t plan_probe_block(rt::UnitId unit) const;
+  /// Settles a pending warm validation with the observed block. Returns
+  /// true on a hit (probe_count_ already set); false leaves the unit on
+  /// the cold path with the observation re-recorded as its first sample.
+  bool resolve_warm_validation(const rt::TaskObservation& obs,
+                               double predicted);
   void maybe_finish_modeling();
   void fit_and_select();
   void sync_fit_stats();
@@ -152,6 +178,7 @@ class PlbHecScheduler final : public rt::Scheduler {
   std::vector<double> prev_probe_grains_;    ///< previous probe size
   std::vector<double> prev_probe_time_;      ///< previous probe duration
   std::size_t modeling_issued_ = 0;          ///< probe grains handed out
+  std::vector<WarmState> warm_state_;        ///< per-unit warm lifecycle
   std::vector<bool> failed_;
 
   std::vector<fit::PerfModel> models_;

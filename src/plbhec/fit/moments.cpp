@@ -34,4 +34,26 @@ void MomentSet::add(double x, double time) {
 
 void MomentSet::clear() { *this = MomentSet{}; }
 
+MomentSnapshot MomentSet::snapshot() const {
+  MomentSnapshot snap;
+  snap.n = n_;
+  snap.gram = gram_;
+  snap.xty = xty_;
+  snap.yty = yty_;
+  snap.wgram = wgram_;
+  snap.wxty = wxty_;
+  snap.wyty = wyty_;
+  return snap;
+}
+
+void MomentSet::restore(const MomentSnapshot& snap) {
+  n_ = static_cast<std::size_t>(snap.n);
+  gram_ = snap.gram;
+  xty_ = snap.xty;
+  yty_ = snap.yty;
+  wgram_ = snap.wgram;
+  wxty_ = snap.wxty;
+  wyty_ = snap.wyty;
+}
+
 }  // namespace plbhec::fit

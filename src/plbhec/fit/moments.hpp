@@ -11,6 +11,7 @@
 
 #include <array>
 #include <cstddef>
+#include <cstdint>
 
 #include "plbhec/fit/basis.hpp"
 
@@ -18,6 +19,23 @@ namespace plbhec::fit {
 
 /// Number of distinct basis functions; BasisFn enumerators index 0..7.
 inline constexpr std::size_t kBasisCount = 8;
+
+/// Plain-data image of a MomentSet, byte-serializable by the on-disk
+/// ProfileStore. Round-tripping a snapshot restores the accumulators
+/// bit-identically — no replay, no recomputation — so a warm-started fit
+/// from a loaded store matches the original run's fit exactly.
+struct MomentSnapshot {
+  std::uint64_t n = 0;
+  std::array<double, kBasisCount * kBasisCount> gram{};
+  std::array<double, kBasisCount> xty{};
+  double yty = 0.0;
+  std::array<double, kBasisCount * kBasisCount> wgram{};
+  std::array<double, kBasisCount> wxty{};
+  double wyty = 0.0;
+
+  friend bool operator==(const MomentSnapshot&,
+                         const MomentSnapshot&) = default;
+};
 
 class MomentSet {
  public:
@@ -44,6 +62,13 @@ class MomentSet {
   }
   /// Sum of observed times (the intercept row of X^T y).
   [[nodiscard]] double sum_y() const { return xty(BasisFn::kOne); }
+
+  /// Bit-exact copy of the accumulator state (ProfileStore serialization).
+  [[nodiscard]] MomentSnapshot snapshot() const;
+  /// Replaces the accumulator state with a previously taken snapshot.
+  void restore(const MomentSnapshot& snap);
+
+  friend bool operator==(const MomentSet&, const MomentSet&) = default;
 
  private:
   std::size_t n_ = 0;

@@ -48,6 +48,16 @@ class SampleSet {
 
   [[nodiscard]] const MomentSet& moments() const { return moments_; }
 
+  /// Replaces the set with persisted samples plus their moment snapshot,
+  /// skipping the per-sample rank-1 updates. The snapshot must describe
+  /// exactly these samples (count checked; values trusted — the store
+  /// checksums its payload).
+  void restore(std::vector<Sample> samples, const MomentSnapshot& snap) {
+    PLBHEC_EXPECTS(snap.n == samples.size());
+    samples_ = std::move(samples);
+    moments_.restore(snap);
+  }
+
   void clear() {
     samples_.clear();
     moments_.clear();

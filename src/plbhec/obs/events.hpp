@@ -28,10 +28,16 @@ enum class EventKind : std::uint8_t {
   kUnitFailed,          ///< permanent unit failure observed
   kWeightUpdate,        ///< HDSS per-unit weight revision
   kIterationSync,       ///< Acosta iteration boundary
+  kJobAdmitted,         ///< service: job left the admission queue
+  kJobCompleted,        ///< service: job finished its last grain
+  kLeaseGranted,        ///< service: unit leased to a job
+  kLeaseRevoked,        ///< service: unit lease taken back from a job
+  kWarmStartHit,        ///< stored profile validated; probing shortened
+  kWarmStartMiss,       ///< stored profile rejected; cold probing
 };
 
 inline constexpr std::size_t kEventKindCount =
-    static_cast<std::size_t>(EventKind::kIterationSync) + 1;
+    static_cast<std::size_t>(EventKind::kWarmStartMiss) + 1;
 
 /// One recorded decision. `time` is virtual (simulated) seconds, matching
 /// the busy-segment trace timeline. The meaning of the payload fields

@@ -17,6 +17,12 @@ const char* to_string(EventKind kind) {
     case EventKind::kUnitFailed: return "unit_failed";
     case EventKind::kWeightUpdate: return "weight_update";
     case EventKind::kIterationSync: return "iteration_sync";
+    case EventKind::kJobAdmitted: return "job_admitted";
+    case EventKind::kJobCompleted: return "job_completed";
+    case EventKind::kLeaseGranted: return "lease_granted";
+    case EventKind::kLeaseRevoked: return "lease_revoked";
+    case EventKind::kWarmStartHit: return "warmstart_hit";
+    case EventKind::kWarmStartMiss: return "warmstart_miss";
   }
   return "unknown";
 }
@@ -46,6 +52,18 @@ std::array<const char*, 4> arg_names(EventKind kind) {
       return {"weight", "rel_change", "samples", nullptr};
     case EventKind::kIterationSync:
       return {"time_spread", nullptr, "iteration", "equilibrium"};
+    case EventKind::kJobAdmitted:
+      return {"queue_wait", nullptr, "job", "queued"};
+    case EventKind::kJobCompleted:
+      return {"makespan", "queue_wait", "job", "grains"};
+    case EventKind::kLeaseGranted:
+      return {nullptr, nullptr, "job", "held"};
+    case EventKind::kLeaseRevoked:
+      return {nullptr, nullptr, "from_job", "to_job"};
+    case EventKind::kWarmStartHit:
+      return {"rel_error", "r2", "seeded_samples", nullptr};
+    case EventKind::kWarmStartMiss:
+      return {"rel_error", "r2", "seeded_samples", nullptr};
   }
   return {nullptr, nullptr, nullptr, nullptr};
 }

@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "plbhec/common/contracts.hpp"
 #include "plbhec/obs/sink.hpp"
 #include "plbhec/rt/scheduler.hpp"
 #include "plbhec/rt/trace.hpp"
@@ -53,8 +54,16 @@ struct RunResult {
   std::vector<UnitStats> unit_stats;
   TraceLog trace;
 
+  /// Per-unit statistics with the unit id range-checked (a bad UnitId is a
+  /// caller bug, not a silent out-of-range read).
+  [[nodiscard]] const UnitStats& stats_for(UnitId u) const {
+    PLBHEC_EXPECTS(u < unit_stats.size());
+    return unit_stats[u];
+  }
+
   /// Fraction of the makespan a unit spent idle.
   [[nodiscard]] double idle_fraction(UnitId u) const {
+    PLBHEC_EXPECTS(u < unit_stats.size());
     if (makespan <= 0.0) return 0.0;
     return 1.0 - unit_stats[u].busy_seconds() / makespan;
   }

@@ -58,6 +58,34 @@ void ProfileDb::record(const TaskObservation& obs) {
   ++cache_[obs.unit].version;
 }
 
+void ProfileDb::seed(UnitId u, const WarmProfile& warm) {
+  PLBHEC_EXPECTS(u < exec_.size());
+  PLBHEC_EXPECTS(exec_[u].empty() && transfer_[u].empty());
+  if (!warm.usable()) return;
+  const double scale = warm.total_grains / static_cast<double>(total_grains_);
+  if (warm.has_moments && scale == 1.0) {
+    exec_[u].restore(warm.exec, warm.exec_moments);
+    transfer_[u].restore(warm.transfer, warm.transfer_moments);
+  } else {
+    for (const fit::Sample& s : warm.exec) {
+      const double x = s.x * scale;
+      if (x > 0.0 && x <= 1.0) exec_[u].add(x, s.time);
+    }
+    for (const fit::Sample& s : warm.transfer) {
+      const double x = s.x * scale;
+      if (x > 0.0 && x <= 1.0) transfer_[u].add(x, s.time);
+    }
+  }
+  ++cache_[u].version;
+}
+
+void ProfileDb::clear_unit(UnitId u) {
+  PLBHEC_EXPECTS(u < exec_.size());
+  exec_[u].clear();
+  transfer_[u].clear();
+  ++cache_[u].version;
+}
+
 const fit::SampleSet& ProfileDb::exec_samples(UnitId u) const {
   PLBHEC_EXPECTS(u < exec_.size());
   return exec_[u];

@@ -21,6 +21,27 @@
 
 namespace plbhec::rt {
 
+/// Cross-run warm-start profile for one processing unit, loaded from the
+/// service layer's ProfileStore: persisted (fraction, time) samples whose
+/// x-values are relative to a *previous* run's grain total, plus the
+/// acceptance R^2 recorded with them. When `total_grains` matches the new
+/// run's total, the moment snapshots are restored bit-exactly (the fit is
+/// identical to the run that persisted them); otherwise the samples are
+/// replayed with rescaled fractions.
+struct WarmProfile {
+  std::vector<fit::Sample> exec;      ///< x relative to `total_grains`
+  std::vector<fit::Sample> transfer;
+  double total_grains = 0.0;  ///< grain denominator of the sample x-values
+  double stored_r2 = 0.0;     ///< exec-fit R^2 the store recorded
+  fit::MomentSnapshot exec_moments;
+  fit::MomentSnapshot transfer_moments;
+  bool has_moments = false;
+
+  [[nodiscard]] bool usable() const {
+    return !exec.empty() && total_grains > 0.0;
+  }
+};
+
 /// Aggregate fit-pipeline statistics: cache effectiveness and which
 /// numerical path the subset solves took.
 struct FitStats {
@@ -41,6 +62,16 @@ class ProfileDb {
   /// Records a completed task's profile (bumps the unit's sample version,
   /// invalidating its cached fits).
   void record(const TaskObservation& obs);
+
+  /// Seeds a freshly reset unit with a persisted warm-start profile. With
+  /// matching grain totals the stored moments are restored bit-exactly;
+  /// otherwise samples are replayed with x rescaled to this run's total
+  /// (fractions outside (0, 1] are dropped). Bumps the unit's version.
+  void seed(UnitId u, const WarmProfile& warm);
+
+  /// Drops every sample of one unit (warm-start validation failure path);
+  /// bumps the unit's version so cached fits cannot be served.
+  void clear_unit(UnitId u);
 
   [[nodiscard]] std::size_t units() const { return exec_.size(); }
   [[nodiscard]] const fit::SampleSet& exec_samples(UnitId u) const;

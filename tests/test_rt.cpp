@@ -450,6 +450,16 @@ TEST(ProfileDbFitCache, ParallelFitAllMatchesSerialFits) {
   EXPECT_EQ(db.fit_stats().fits_cached, 16u);
 }
 
+TEST(RunResultDeathTest, OutOfRangeUnitIdAbortsInsteadOfReadingPastTheEnd) {
+  RunResult result;
+  result.unit_stats.resize(2);
+  result.makespan = 1.0;
+  EXPECT_EQ(result.stats_for(1).grains, 0u);        // in range: fine
+  EXPECT_DOUBLE_EQ(result.idle_fraction(0), 1.0);
+  EXPECT_DEATH((void)result.stats_for(2), "precondition");
+  EXPECT_DEATH((void)result.idle_fraction(7), "precondition");
+}
+
 TEST(TraceLog, Accounting) {
   TraceLog log;
   log.add({0, SegmentKind::kTransfer, 0.0, 1.0, 10});

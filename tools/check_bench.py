@@ -20,12 +20,18 @@ optimization is gone", not a 20% wobble:
 * ``overhead_pct``         fresh <= max(2.0, 2 x baseline)  (cost, lower=better)
 * ``max_rel_diff``         fresh <= max(1e-6, 100 x baseline)
 * ``max_abs_diff``         fresh <= max(1e-6, 100 x baseline)
+* ``probing_saved_ratio``  fresh >= 0.25 x baseline  (bench_service:
+  probing blocks the warm start saved relative to the cold run's total)
 
 Identity keys (``n``, ``samples``, ``lanes``, ``units``, ...) and the
 overall JSON structure must match exactly, so a silently shrunk sweep
-also fails the gate.
+also fails the gate. For bench_service the arrival trace itself is
+identity-checked (``trace_kinds``, ``trace_priorities``, ``jobs``,
+``replay_identical``): the fixed-seed trace must replay structurally
+unchanged, and the two warm replays must have agreed exactly.
 
 Usage:  check_bench.py BASELINE.json FRESH.json [more pairs ...]
+        check_bench.py --self-test
 Exit:   0 all gates pass, 1 otherwise (every violation is printed).
 """
 
@@ -39,6 +45,7 @@ RATIO_GATES = {
     "overhead_ratio": ("floor", 0.05),
     "parallel_speedup": ("floor", 0.05),
     "cache_speedup": ("floor", 0.05),
+    "probing_saved_ratio": ("floor", 0.25),
 }
 CEIL_GATES = {
     "overhead_pct": 2.0,  # abs ceiling; recording must stay under 2%
@@ -50,7 +57,9 @@ IGNORED_SUFFIXES = ("_us", "gflops")
 IGNORED_KEYS = {"hardware_concurrency", "reps", "genes", "events"}
 # Sweep-identity keys: must be exactly equal.
 IDENTITY_KEYS = {"n", "samples", "lanes", "units", "samples_per_unit",
-                 "benchmark", "compiled_in", "makespan_equal"}
+                 "benchmark", "compiled_in", "makespan_equal",
+                 "jobs", "seed", "trace_kinds", "trace_priorities",
+                 "replay_identical"}
 
 
 def fail(errors, path, message):
@@ -113,7 +122,73 @@ def compare(base, fresh, path, errors):
     # still fails the structural check above).
 
 
+def self_test():
+    """Pytest-free sanity check of the gate itself (run by CI).
+
+    Each case runs compare() on a baseline/fresh pair and asserts whether
+    it must flag a violation. Catches regressions in the gate logic
+    before a silently-green gate waves a real regression through.
+    """
+    baseline = {
+        "benchmark": "bench_service",
+        "jobs": 12, "units": 4, "seed": 42,
+        "trace_kinds": "matmul-1024,bs-300k",
+        "trace_priorities": "high,normal",
+        "replay_identical": True,
+        "probing_saved_ratio": 0.98,
+        "speedup": 4.0,
+        "max_rel_diff": 1e-12,
+        "run_us": 120.0,
+        "arrival_times": [0.1, 0.2],
+    }
+
+    def variant(**overrides):
+        fresh = dict(baseline)
+        fresh.update(overrides)
+        return fresh
+
+    dropped = dict(baseline)
+    del dropped["probing_saved_ratio"]
+    cases = [
+        # (label, fresh, must_flag)
+        ("identical json passes", variant(), False),
+        ("machine-dependent *_us may drift", variant(run_us=9000.0), False),
+        ("non-identity floats may wobble",
+         variant(arrival_times=[0.1, 0.200001], probing_saved_ratio=0.9),
+         False),
+        ("collapsed probing_saved_ratio fails",
+         variant(probing_saved_ratio=0.01), True),
+        ("collapsed speedup fails", variant(speedup=0.1), True),
+        ("blown-up residual fails", variant(max_rel_diff=0.5), True),
+        ("changed arrival-trace kinds fail",
+         variant(trace_kinds="matmul-1024,grn-10k"), True),
+        ("changed priorities fail",
+         variant(trace_priorities="low,normal"), True),
+        ("shrunk job count fails", variant(jobs=6), True),
+        ("diverged replay fails", variant(replay_identical=False), True),
+        ("dropped key fails structurally", dropped, True),
+        ("shrunk sweep fails", variant(arrival_times=[0.1]), True),
+    ]
+    failures = 0
+    for label, fresh, must_flag in cases:
+        errors = []
+        compare(baseline, fresh, "self-test", errors)
+        flagged = bool(errors)
+        status = "ok" if flagged == must_flag else "FAIL"
+        if flagged != must_flag:
+            failures += 1
+        print(f"  {status}: {label} (flagged={flagged}, "
+              f"expected={must_flag})")
+    if failures:
+        print(f"self-test FAILED ({failures} case(s))")
+        return 1
+    print(f"self-test OK ({len(cases)} cases)")
+    return 0
+
+
 def main(argv):
+    if len(argv) == 2 and argv[1] == "--self-test":
+        return self_test()
     if len(argv) < 3 or len(argv) % 2 == 0:
         print(__doc__)
         return 2
