@@ -1,0 +1,345 @@
+// Network transport benchmark: measures the framed TCP path between a
+// coordinator-side RemoteUnit and an in-process WorkerDaemon on loopback.
+//
+// Three experiments, one JSON:
+//  1. transfer curve -- a RemoteUnit executes matmul blocks of swept sizes
+//     and the per-size minimum wire time (round-trip wall minus daemon
+//     kernel time, best of several interleaved rounds) is fitted to the
+//     paper's G_p(x) = a1*x + a2. The fit R^2 on real socket timings is
+//     the headline number: the transport must be regular enough that the
+//     scheduler's transfer model means something.
+//  2. distributed run -- a ThreadEngine drives one local unit plus two
+//     daemons through PLB-HeC; the distributed product must be
+//     bit-identical to a single-threaded reference and every grain
+//     accounted for.
+//  3. worker kill -- a daemon is frozen mid-run (connections open, nothing
+//     answered); the heartbeat timeout must demote it and the engine
+//     requeue its in-flight range, finishing with zero lost grains.
+//
+// Emits JSON (stdout, plus an output path if given); the committed
+// baseline lives in bench/results/bench_net.json and tools/check_bench.py
+// gates transfer_r2 plus the structural identities (bit_identical,
+// lost_grains, demoted). `--smoke` exits nonzero when R^2 < 0.7, the
+// distributed result diverges, or the kill run loses grains -- the
+// acceptance gate CI runs on every push.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <limits>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "plbhec/apps/matmul.hpp"
+#include "plbhec/apps/synthetic.hpp"
+#include "plbhec/core/plb_hec.hpp"
+#include "plbhec/fit/least_squares.hpp"
+#include "plbhec/fit/samples.hpp"
+#include "plbhec/net/remote_unit.hpp"
+#include "plbhec/net/workerd.hpp"
+#include "plbhec/rt/thread_engine.hpp"
+
+namespace {
+
+namespace apps = plbhec::apps;
+namespace fit = plbhec::fit;
+namespace net = plbhec::net;
+namespace rt = plbhec::rt;
+
+// Tight liveness budget (60 ms) for the worker-kill experiment, where
+// fast demotion is the behavior under test.
+net::RemoteUnitOptions fast_options(std::uint16_t port, std::string name) {
+  net::RemoteUnitOptions ro;
+  ro.port = port;
+  ro.name = std::move(name);
+  ro.heartbeat_interval_seconds = 0.02;
+  ro.max_missed_heartbeats = 3;
+  ro.max_reconnect_attempts = 2;
+  ro.backoff_initial_seconds = 0.01;
+  ro.backoff_max_seconds = 0.05;
+  return ro;
+}
+
+// Generous liveness budget (3 s) for the functional experiments: a noisy
+// CI machine stalls threads long enough that a 60 ms heartbeat window
+// falsely demotes a healthy loopback daemon.
+net::RemoteUnitOptions steady_options(std::uint16_t port, std::string name) {
+  net::RemoteUnitOptions ro = fast_options(port, std::move(name));
+  ro.heartbeat_interval_seconds = 0.2;
+  ro.max_missed_heartbeats = 15;
+  return ro;
+}
+
+/// Experiment 1: sweep matmul block sizes through one remote unit and fit
+/// G_p(x) from the measured wire times. `x` is the block's grain fraction
+/// (the same domain the scheduler fits in).
+struct TransferCurve {
+  fit::TransferModel model;
+  std::size_t samples = 0;
+  std::size_t payload_min_bytes = 0;
+  std::size_t payload_max_bytes = 0;
+  bool ok = false;
+};
+
+TransferCurve measure_transfer_curve(std::size_t n) {
+  TransferCurve out;
+  net::WorkerDaemon daemon({0, "curve", 1.0});
+  apps::MatMulWorkload workload(n, /*materialize=*/true);
+  net::RemoteUnit unit(steady_options(daemon.port(), "curve.remote"));
+  if (!unit.begin_run(workload)) return out;
+
+  // Block sizes from 1/64 to 1/4 of the matrix (n=512: result payloads
+  // 32 KiB .. 512 KiB per block). G_p(x) models the *uncontended* wire
+  // cost (latency + bandwidth-linear), so each size's sample is the
+  // minimum over kRounds round-trips — on a shared host, neighbor bursts
+  // add multi-millisecond preemption spikes to individual timings, and
+  // any mean/median estimator drags the fit with them. Rounds interleave
+  // the sizes so one burst window cannot poison every repetition of a
+  // single size, and the first (untimed) round absorbs cold-path warmup.
+  const std::size_t sizes[] = {n / 64, n / 32, n / 16, n / 8, n / 4};
+  constexpr std::size_t kSizes = sizeof(sizes) / sizeof(sizes[0]);
+  constexpr int kRounds = 9;
+  double best[kSizes];
+  std::fill(best, best + kSizes, std::numeric_limits<double>::infinity());
+  out.payload_min_bytes = workload.result_bytes(0, sizes[0]);
+  out.payload_max_bytes = workload.result_bytes(0, sizes[kSizes - 1]);
+  for (int round = 0; round < kRounds + 1; ++round) {
+    std::size_t row = 0;
+    for (std::size_t s = 0; s < kSizes; ++s) {
+      const std::size_t block = sizes[s];
+      if (row + block > n) row = 0;
+      rt::BlockTiming timing;
+      if (!unit.execute(workload, row, row + block, timing)) return out;
+      if (round > 0) best[s] = std::min(best[s], timing.transfer_seconds);
+      row += block;
+    }
+  }
+  fit::SampleSet samples;
+  for (std::size_t s = 0; s < kSizes; ++s)
+    samples.add(static_cast<double>(sizes[s]) / static_cast<double>(n),
+                best[s]);
+  unit.end_run();
+  daemon.stop();
+
+  out.model = fit::fit_transfer(samples);
+  out.samples = samples.size();
+  out.ok = true;
+  return out;
+}
+
+/// Experiment 2: PLB-HeC schedules a real matmul across one local unit and
+/// two daemons; the distributed product must match a single-threaded
+/// reference bit for bit.
+struct DistributedRun {
+  bool ok = false;
+  bool bit_identical = false;
+  std::size_t total_grains = 0;
+  std::size_t grains_counted = 0;
+  std::uint64_t remote_blocks = 0;
+  double makespan = 0.0;
+};
+
+DistributedRun run_distributed(std::size_t n) {
+  DistributedRun out;
+  net::WorkerDaemon d1({0, "node1", 1.0});
+  net::WorkerDaemon d2({0, "node2", 2.0});
+
+  std::vector<std::unique_ptr<rt::ExecUnit>> units;
+  units.push_back(std::make_unique<rt::LocalExecUnit>(
+      rt::LocalExecUnit::Options{"coord.cpu0", 1.0, true}));
+  units.push_back(std::make_unique<net::RemoteUnit>(
+      steady_options(d1.port(), "remote.1")));
+  units.push_back(std::make_unique<net::RemoteUnit>(
+      steady_options(d2.port(), "remote.2")));
+
+  rt::ThreadEngineOptions eopts;
+  rt::ThreadEngine engine(eopts, std::move(units));
+  apps::MatMulWorkload workload(n, /*materialize=*/true);
+  plbhec::core::PlbHecScheduler plb;
+  const rt::RunResult r = engine.run(workload, plb);
+  if (!r.ok) return out;
+
+  apps::MatMulWorkload reference(n, /*materialize=*/true);
+  reference.execute_cpu(0, n);
+
+  out.ok = true;
+  out.bit_identical = workload.result() == reference.result();
+  out.total_grains = r.total_grains;
+  for (const rt::UnitStats& stats : r.unit_stats)
+    out.grains_counted += stats.grains;
+  out.remote_blocks = d1.blocks_served() + d2.blocks_served();
+  out.makespan = r.makespan;
+  d1.stop();
+  d2.stop();
+  return out;
+}
+
+/// Experiment 3: freeze a daemon once it has served a block; the run must
+/// still complete with every grain executed exactly once.
+struct KillRun {
+  bool ok = false;
+  bool demoted = false;
+  std::size_t total_grains = 0;
+  std::uint64_t executed_grains = 0;
+  std::uint64_t lost_grains = 0;
+  std::uint64_t heartbeats_missed = 0;
+};
+
+KillRun run_worker_kill(std::size_t grains) {
+  KillRun out;
+  net::WorkerDaemon healthy({0, "ok", 1.0});
+  net::WorkerDaemon doomed({0, "doomed", 1.0});
+
+  std::vector<std::unique_ptr<rt::ExecUnit>> units;
+  units.push_back(std::make_unique<rt::LocalExecUnit>(
+      rt::LocalExecUnit::Options{"coord.cpu0", 1.0, true}));
+  units.push_back(std::make_unique<net::RemoteUnit>(
+      steady_options(healthy.port(), "remote.ok")));
+  auto doomed_unit =
+      std::make_unique<net::RemoteUnit>(fast_options(doomed.port(),
+                                                     "remote.doomed"));
+  net::RemoteUnit* doomed_ptr = doomed_unit.get();
+  units.push_back(std::move(doomed_unit));
+
+  rt::ThreadEngineOptions eopts;
+  rt::ThreadEngine engine(eopts, std::move(units));
+  apps::SyntheticWorkload workload(
+      apps::SyntheticWorkload::Config{grains, 1e6, 64.0, 16.0, 2.0, 0.97,
+                                      0.5, 0.5, 6'000});
+
+  std::thread killer([&] {
+    for (int i = 0; i < 2000 && doomed.blocks_served() == 0; ++i)
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    doomed.freeze();
+  });
+  plbhec::core::PlbHecScheduler plb;
+  const rt::RunResult r = engine.run(workload, plb);
+  killer.join();
+  doomed.unfreeze();
+
+  out.ok = r.ok;
+  out.demoted = doomed_ptr->demoted();
+  out.total_grains = grains;
+  out.executed_grains = workload.executed_grains();
+  out.lost_grains = out.executed_grains >= grains
+                        ? 0
+                        : grains - out.executed_grains;
+  out.heartbeats_missed = doomed_ptr->heartbeats_missed();
+  healthy.stop();
+  doomed.stop();
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string out_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--smoke")
+      smoke = true;
+    else
+      out_path = arg;
+  }
+
+  const std::size_t curve_n = 512;
+  const std::size_t dist_n = 256;
+  const std::size_t kill_grains = 10'000;
+
+  const TransferCurve curve = measure_transfer_curve(curve_n);
+  const DistributedRun dist = run_distributed(dist_n);
+  const KillRun kill = run_worker_kill(kill_grains);
+
+  char buf[1024];
+  std::string json = "{\n  \"benchmark\": \"bench_net\",\n";
+  std::snprintf(
+      buf, sizeof(buf),
+      "  \"curve_n\": %zu,\n  \"dist_n\": %zu,\n  \"kill_grains\": %zu,\n"
+      "  \"units\": 3,\n",
+      curve_n, dist_n, kill_grains);
+  json += buf;
+
+  std::snprintf(
+      buf, sizeof(buf),
+      "  \"transfer_r2\": %.4f,\n"
+      "  \"transfer_slope_us\": %.17g,\n"
+      "  \"transfer_latency_us\": %.17g,\n"
+      "  \"transfer_samples\": %zu,\n"
+      "  \"payload_min_bytes\": %zu,\n  \"payload_max_bytes\": %zu,\n",
+      curve.model.r2, curve.model.slope * 1e6, curve.model.latency * 1e6,
+      curve.samples, curve.payload_min_bytes, curve.payload_max_bytes);
+  json += buf;
+
+  std::snprintf(
+      buf, sizeof(buf),
+      "  \"bit_identical\": %s,\n  \"dist_total_grains\": %zu,\n"
+      "  \"dist_grains_counted\": %zu,\n"
+      "  \"dist_remote_blocks\": %llu,\n  \"dist_makespan_us\": %.17g,\n",
+      dist.bit_identical ? "true" : "false", dist.total_grains,
+      dist.grains_counted,
+      static_cast<unsigned long long>(dist.remote_blocks),
+      dist.makespan * 1e6);
+  json += buf;
+
+  std::snprintf(
+      buf, sizeof(buf),
+      "  \"demoted\": %s,\n  \"lost_grains\": %llu,\n"
+      "  \"kill_executed_grains\": %llu,\n"
+      "  \"kill_heartbeats_missed\": %llu\n}\n",
+      kill.demoted ? "true" : "false",
+      static_cast<unsigned long long>(kill.lost_grains),
+      static_cast<unsigned long long>(kill.executed_grains),
+      static_cast<unsigned long long>(kill.heartbeats_missed));
+  json += buf;
+
+  std::fputs(json.c_str(), stdout);
+  if (!out_path.empty()) {
+    if (std::FILE* out = std::fopen(out_path.c_str(), "w")) {
+      std::fputs(json.c_str(), out);
+      std::fclose(out);
+    } else {
+      std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+      return 1;
+    }
+  }
+
+  if (smoke) {
+    bool fail = false;
+    if (!curve.ok || curve.model.r2 < 0.7) {
+      std::fprintf(stderr,
+                   "smoke FAIL: G_p fit R^2 %.4f < 0.7 over %zu wire "
+                   "samples\n",
+                   curve.model.r2, curve.samples);
+      fail = true;
+    }
+    if (!dist.ok || !dist.bit_identical) {
+      std::fputs("smoke FAIL: distributed matmul diverged from the "
+                 "single-threaded reference\n",
+                 stderr);
+      fail = true;
+    }
+    if (dist.grains_counted != dist.total_grains) {
+      std::fprintf(stderr,
+                   "smoke FAIL: distributed run counted %zu of %zu "
+                   "grains\n",
+                   dist.grains_counted, dist.total_grains);
+      fail = true;
+    }
+    if (!kill.ok || !kill.demoted || kill.lost_grains != 0 ||
+        kill.executed_grains != kill.total_grains) {
+      std::fprintf(stderr,
+                   "smoke FAIL: worker-kill run lost %llu grains "
+                   "(executed %llu of %zu, demoted=%d)\n",
+                   static_cast<unsigned long long>(kill.lost_grains),
+                   static_cast<unsigned long long>(kill.executed_grains),
+                   kill.total_grains, kill.demoted ? 1 : 0);
+      fail = true;
+    }
+    if (fail) return 1;
+    std::fputs("smoke OK\n", stderr);
+  }
+  return curve.ok && dist.ok && kill.ok ? 0 : 1;
+}

@@ -1,0 +1,72 @@
+/// \file workerd_main.cpp
+/// plbhec-workerd: the worker-node daemon of the distributed runtime.
+/// Listens for a coordinator, rebuilds workloads from their remote_spec
+/// strings and executes assigned blocks, shipping results and kernel
+/// timings back over the framed TCP protocol (src/plbhec/net/wire.hpp).
+///
+///   plbhec-workerd --port=7077 --name=node1 --slowdown=2.0
+///
+/// --port 0 picks an ephemeral port (printed on stdout, for scripts).
+/// --slowdown stretches kernel times to emulate a slower node, so a
+/// single-host demo cluster still exhibits heterogeneity for the
+/// balancer to learn. Runs until SIGINT/SIGTERM.
+
+#include <csignal>
+#include <cstdio>
+#include <ctime>
+#include <string>
+
+#include "plbhec/common/cli.hpp"
+#include "plbhec/net/workerd.hpp"
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+
+void handle_signal(int) { g_stop = 1; }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  plbhec::Cli cli(argc, argv);
+  if (cli.has("help")) {
+    std::printf(
+        "plbhec-workerd: PLB-HeC worker daemon\n"
+        "  --port=N       listen port on 127.0.0.1 (default 7077; 0 = "
+        "ephemeral)\n"
+        "  --name=S       daemon name reported to coordinators (default "
+        "hostname-ish)\n"
+        "  --slowdown=F   stretch kernel times by F >= 1.0 (default 1.0)\n");
+    return 0;
+  }
+
+  plbhec::net::WorkerDaemonOptions options;
+  options.port =
+      static_cast<std::uint16_t>(cli.get_int("port", 7077));
+  options.name = cli.get("name", "workerd");
+  options.slowdown = cli.get_double("slowdown", 1.0);
+  if (options.slowdown < 1.0) {
+    std::fprintf(stderr, "--slowdown must be >= 1.0\n");
+    return 2;
+  }
+
+  plbhec::net::WorkerDaemon daemon(options);
+  std::printf("plbhec-workerd '%s' listening on 127.0.0.1:%u (slowdown %.2f)\n",
+              options.name.c_str(), daemon.port(), options.slowdown);
+  std::fflush(stdout);
+
+  std::signal(SIGINT, handle_signal);
+  std::signal(SIGTERM, handle_signal);
+  while (g_stop == 0) {
+    // The daemon's own threads do all the work; this thread just waits
+    // for a signal (sleep via sigsuspend-free portable polling).
+    struct timespec ts = {0, 100'000'000};  // 100 ms
+    nanosleep(&ts, nullptr);
+  }
+
+  const std::uint64_t served = daemon.blocks_served();
+  daemon.stop();
+  std::printf("plbhec-workerd stopping after %llu blocks served\n",
+              static_cast<unsigned long long>(served));
+  return 0;
+}

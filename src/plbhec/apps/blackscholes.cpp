@@ -1,6 +1,7 @@
 #include "plbhec/apps/blackscholes.hpp"
 
 #include <cmath>
+#include <cstring>
 
 #include "plbhec/common/contracts.hpp"
 #include "plbhec/common/rng.hpp"
@@ -99,6 +100,39 @@ OptionPrice BlackScholesWorkload::monte_carlo_price(
   p.call = discount * call_sum / paths;
   p.put = discount * put_sum / paths;
   return p;
+}
+
+std::string BlackScholesWorkload::remote_spec() const {
+  return "blackscholes:options=" + std::to_string(config_.options) +
+         ",paths=" + std::to_string(config_.mc_paths) +
+         ",steps=" + std::to_string(config_.mc_steps) +
+         ",seed=" + std::to_string(config_.seed);
+}
+
+std::size_t BlackScholesWorkload::result_bytes(std::size_t begin,
+                                               std::size_t end) const {
+  PLBHEC_EXPECTS(begin <= end && end <= quotes_.size());
+  return (end - begin) * 2 * sizeof(double);
+}
+
+void BlackScholesWorkload::write_results(std::size_t begin, std::size_t end,
+                                         std::uint8_t* out) const {
+  PLBHEC_EXPECTS(begin <= end && end <= quotes_.size());
+  for (std::size_t i = begin; i < end; ++i) {
+    std::memcpy(out, &prices_[i].call, sizeof(double));
+    std::memcpy(out + sizeof(double), &prices_[i].put, sizeof(double));
+    out += 2 * sizeof(double);
+  }
+}
+
+void BlackScholesWorkload::read_results(std::size_t begin, std::size_t end,
+                                        const std::uint8_t* in) {
+  PLBHEC_EXPECTS(begin <= end && end <= quotes_.size());
+  for (std::size_t i = begin; i < end; ++i) {
+    std::memcpy(&prices_[i].call, in, sizeof(double));
+    std::memcpy(&prices_[i].put, in + sizeof(double), sizeof(double));
+    in += 2 * sizeof(double);
+  }
 }
 
 void BlackScholesWorkload::execute_cpu(std::size_t begin, std::size_t end) {

@@ -69,6 +69,16 @@ class BlackScholesWorkload final : public rt::Workload {
   void execute_cpu(std::size_t begin, std::size_t end) override;
   [[nodiscard]] bool supports_real_execution() const override { return true; }
 
+  /// Remote execution: the quote portfolio is a pure function of the
+  /// config, so a daemon regenerates it and ships prices back.
+  [[nodiscard]] std::string remote_spec() const override;
+  [[nodiscard]] std::size_t result_bytes(std::size_t begin,
+                                         std::size_t end) const override;
+  void write_results(std::size_t begin, std::size_t end,
+                     std::uint8_t* out) const override;
+  void read_results(std::size_t begin, std::size_t end,
+                    const std::uint8_t* in) override;
+
   [[nodiscard]] const std::vector<OptionQuote>& quotes() const {
     return quotes_;
   }

@@ -1,6 +1,7 @@
 #include "plbhec/apps/grn.hpp"
 
 #include <cmath>
+#include <cstring>
 #include <limits>
 
 #include "plbhec/common/contracts.hpp"
@@ -52,6 +53,44 @@ sim::WorkloadProfile GrnWorkload::profile() const {
   // memory latency.
   p.gpu_saturation_grains = 512.0;
   return p;
+}
+
+std::string GrnWorkload::remote_spec() const {
+  if (!config_.materialize) return {};
+  return "grn:genes=" + std::to_string(config_.genes) +
+         ",samples=" + std::to_string(config_.samples) +
+         ",window=" + std::to_string(config_.pair_window) +
+         ",seed=" + std::to_string(config_.seed);
+}
+
+std::size_t GrnWorkload::result_bytes(std::size_t begin,
+                                      std::size_t end) const {
+  PLBHEC_EXPECTS(begin <= end && end <= config_.genes);
+  return config_.materialize
+             ? (end - begin) * (sizeof(float) + sizeof(std::uint32_t))
+             : 0;
+}
+
+void GrnWorkload::write_results(std::size_t begin, std::size_t end,
+                                std::uint8_t* out) const {
+  PLBHEC_EXPECTS(config_.materialize);
+  PLBHEC_EXPECTS(begin <= end && end <= config_.genes);
+  for (std::size_t g = begin; g < end; ++g) {
+    std::memcpy(out, &scores_[g], sizeof(float));
+    std::memcpy(out + sizeof(float), &best_partner_[g], sizeof(std::uint32_t));
+    out += sizeof(float) + sizeof(std::uint32_t);
+  }
+}
+
+void GrnWorkload::read_results(std::size_t begin, std::size_t end,
+                               const std::uint8_t* in) {
+  PLBHEC_EXPECTS(config_.materialize);
+  PLBHEC_EXPECTS(begin <= end && end <= config_.genes);
+  for (std::size_t g = begin; g < end; ++g) {
+    std::memcpy(&scores_[g], in, sizeof(float));
+    std::memcpy(&best_partner_[g], in + sizeof(float), sizeof(std::uint32_t));
+    in += sizeof(float) + sizeof(std::uint32_t);
+  }
 }
 
 double GrnWorkload::conditional_entropy(std::size_t gene_a,

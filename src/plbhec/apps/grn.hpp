@@ -53,6 +53,16 @@ class GrnWorkload final : public rt::Workload {
     return config_.materialize;
   }
 
+  /// Remote execution: expression data is seeded-deterministic; a daemon
+  /// ships per-gene (score, best partner) pairs back.
+  [[nodiscard]] std::string remote_spec() const override;
+  [[nodiscard]] std::size_t result_bytes(std::size_t begin,
+                                         std::size_t end) const override;
+  void write_results(std::size_t begin, std::size_t end,
+                     std::uint8_t* out) const override;
+  void read_results(std::size_t begin, std::size_t end,
+                    const std::uint8_t* in) override;
+
   /// Best (lowest conditional entropy) score found per gene; real mode.
   [[nodiscard]] const std::vector<float>& scores() const { return scores_; }
   /// Best partner index per gene; real mode.

@@ -1,5 +1,7 @@
 #include "plbhec/apps/matmul.hpp"
 
+#include <cstring>
+
 #include "plbhec/common/contracts.hpp"
 #include "plbhec/common/rng.hpp"
 #include "plbhec/exec/thread_pool.hpp"
@@ -44,6 +46,31 @@ sim::WorkloadProfile MatMulWorkload::profile() const {
   // quantization across SMs) — the nonlinearity of paper Fig. 1.
   p.gpu_saturation_grains = 256.0;
   return p;
+}
+
+std::string MatMulWorkload::remote_spec() const {
+  if (!materialized_) return {};
+  return "matmul:n=" + std::to_string(n_);
+}
+
+std::size_t MatMulWorkload::result_bytes(std::size_t begin,
+                                         std::size_t end) const {
+  PLBHEC_EXPECTS(begin <= end && end <= n_);
+  return materialized_ ? (end - begin) * n_ * sizeof(double) : 0;
+}
+
+void MatMulWorkload::write_results(std::size_t begin, std::size_t end,
+                                   std::uint8_t* out) const {
+  PLBHEC_EXPECTS(materialized_);
+  PLBHEC_EXPECTS(begin <= end && end <= n_);
+  std::memcpy(out, c_.data() + begin * n_, (end - begin) * n_ * sizeof(double));
+}
+
+void MatMulWorkload::read_results(std::size_t begin, std::size_t end,
+                                  const std::uint8_t* in) {
+  PLBHEC_EXPECTS(materialized_);
+  PLBHEC_EXPECTS(begin <= end && end <= n_);
+  std::memcpy(c_.data() + begin * n_, in, (end - begin) * n_ * sizeof(double));
 }
 
 void MatMulWorkload::execute_cpu(std::size_t begin, std::size_t end) {

@@ -31,6 +31,16 @@ class MatMulWorkload final : public rt::Workload {
     return materialized_;
   }
 
+  /// Remote execution: a daemon rebuilds the same deterministic A/B and
+  /// ships computed C rows back.
+  [[nodiscard]] std::string remote_spec() const override;
+  [[nodiscard]] std::size_t result_bytes(std::size_t begin,
+                                         std::size_t end) const override;
+  void write_results(std::size_t begin, std::size_t end,
+                     std::uint8_t* out) const override;
+  void read_results(std::size_t begin, std::size_t end,
+                    const std::uint8_t* in) override;
+
   /// Result access for validation (real mode only).
   [[nodiscard]] const std::vector<double>& result() const { return c_; }
   [[nodiscard]] const std::vector<double>& a() const { return a_; }

@@ -1,0 +1,103 @@
+#include "plbhec/apps/registry.hpp"
+
+#include <cstdint>
+#include <map>
+
+#include "plbhec/apps/blackscholes.hpp"
+#include "plbhec/apps/grn.hpp"
+#include "plbhec/apps/matmul.hpp"
+#include "plbhec/apps/synthetic.hpp"
+
+namespace plbhec::apps {
+
+namespace {
+
+constexpr std::size_t kMaxRemoteGrains = 1u << 22;  // cap daemon allocations
+
+/// Parses "k=v,k=v" into a map; returns false on any malformed pair.
+bool parse_params(const std::string& body,
+                  std::map<std::string, std::uint64_t>& params) {
+  std::size_t pos = 0;
+  while (pos < body.size()) {
+    std::size_t comma = body.find(',', pos);
+    if (comma == std::string::npos) comma = body.size();
+    const std::size_t eq = body.find('=', pos);
+    if (eq == std::string::npos || eq >= comma || eq == pos) return false;
+    const std::string key = body.substr(pos, eq - pos);
+    const std::string value = body.substr(eq + 1, comma - eq - 1);
+    if (value.empty()) return false;
+    std::uint64_t parsed = 0;
+    for (char c : value) {
+      if (c < '0' || c > '9') return false;
+      if (parsed > (UINT64_MAX - 9) / 10) return false;
+      parsed = parsed * 10 + static_cast<std::uint64_t>(c - '0');
+    }
+    if (params.count(key) != 0) return false;
+    params[key] = parsed;
+    pos = comma + 1;
+  }
+  return true;
+}
+
+std::unique_ptr<rt::Workload> fail(std::string* error, const std::string& why) {
+  if (error != nullptr) *error = why;
+  return nullptr;
+}
+
+}  // namespace
+
+std::unique_ptr<rt::Workload> make_workload(const std::string& spec,
+                                            std::string* error) {
+  const std::size_t colon = spec.find(':');
+  const std::string name = spec.substr(0, colon);
+  std::map<std::string, std::uint64_t> params;
+  if (colon != std::string::npos &&
+      !parse_params(spec.substr(colon + 1), params))
+    return fail(error, "malformed parameters in spec '" + spec + "'");
+
+  const auto get = [&](const char* key,
+                       std::uint64_t fallback) -> std::uint64_t {
+    const auto it = params.find(key);
+    return it == params.end() ? fallback : it->second;
+  };
+
+  if (name == "matmul") {
+    const std::uint64_t n = get("n", 0);
+    if (n == 0 || n > 4096) return fail(error, "matmul: n out of range");
+    return std::make_unique<MatMulWorkload>(static_cast<std::size_t>(n),
+                                            /*materialize=*/true);
+  }
+  if (name == "blackscholes") {
+    BlackScholesWorkload::Config cfg;
+    cfg.options = static_cast<std::size_t>(get("options", 0));
+    cfg.mc_paths = static_cast<std::size_t>(get("paths", 0));
+    cfg.mc_steps = static_cast<std::size_t>(get("steps", 32));
+    cfg.seed = get("seed", 0x5eed);
+    if (cfg.options == 0 || cfg.options > kMaxRemoteGrains)
+      return fail(error, "blackscholes: options out of range");
+    return std::make_unique<BlackScholesWorkload>(cfg);
+  }
+  if (name == "grn") {
+    GrnWorkload::Config cfg;
+    cfg.genes = static_cast<std::size_t>(get("genes", 0));
+    cfg.samples = static_cast<std::size_t>(get("samples", 64));
+    cfg.pair_window = static_cast<std::size_t>(get("window", 32));
+    cfg.seed = get("seed", 0x9e11e5);
+    cfg.materialize = true;
+    if (cfg.genes == 0 || cfg.genes > 200'000 || cfg.samples == 0 ||
+        cfg.samples > 65'536 || cfg.pair_window == 0)
+      return fail(error, "grn: parameters out of range");
+    return std::make_unique<GrnWorkload>(cfg);
+  }
+  if (name == "synthetic") {
+    SyntheticWorkload::Config cfg;
+    cfg.grains = static_cast<std::size_t>(get("grains", 0));
+    cfg.spin_iters_per_grain = static_cast<std::size_t>(get("spin", 2'000));
+    if (cfg.grains == 0 || cfg.grains > kMaxRemoteGrains)
+      return fail(error, "synthetic: grains out of range");
+    return std::make_unique<SyntheticWorkload>(cfg);
+  }
+  return fail(error, "unknown workload '" + name + "'");
+}
+
+}  // namespace plbhec::apps

@@ -1,0 +1,21 @@
+#pragma once
+/// \file registry.hpp
+/// Maps a workload's `remote_spec()` string (e.g. "matmul:n=256") back to a
+/// live Workload instance. A worker daemon uses this to rebuild the same
+/// deterministic problem the coordinator holds, so block results computed
+/// remotely are bit-identical to local execution.
+
+#include <memory>
+#include <string>
+
+#include "plbhec/rt/workload.hpp"
+
+namespace plbhec::apps {
+
+/// Constructs the workload described by `spec` ("name:key=value,...").
+/// Returns nullptr and fills `*error` (if given) when the spec names an
+/// unknown workload, has malformed parameters, or is out of range.
+[[nodiscard]] std::unique_ptr<rt::Workload> make_workload(
+    const std::string& spec, std::string* error = nullptr);
+
+}  // namespace plbhec::apps

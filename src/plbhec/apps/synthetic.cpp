@@ -1,10 +1,23 @@
 #include "plbhec/apps/synthetic.hpp"
 
 #include <cmath>
+#include <cstring>
 
 #include "plbhec/common/contracts.hpp"
 
 namespace plbhec::apps {
+
+namespace {
+
+/// Deterministic per-grain value independent of execution order (and of
+/// which host computes it — remote daemons reproduce it bit-identically).
+double grain_value(std::size_t g, std::size_t spin_iters) {
+  double acc = static_cast<double>(g % 97) + 1.0;
+  for (std::size_t i = 0; i < spin_iters; ++i) acc = acc * 1.0000001 + 1e-9;
+  return std::fmod(acc, 1000.0);
+}
+
+}  // namespace
 
 sim::WorkloadProfile SyntheticWorkload::profile() const {
   sim::WorkloadProfile p;
@@ -22,14 +35,42 @@ sim::WorkloadProfile SyntheticWorkload::profile() const {
 void SyntheticWorkload::execute_cpu(std::size_t begin, std::size_t end) {
   PLBHEC_EXPECTS(begin <= end && end <= config_.grains);
   double local = 0.0;
-  for (std::size_t g = begin; g < end; ++g) {
-    // Deterministic per-grain value independent of execution order.
-    double acc = static_cast<double>(g % 97) + 1.0;
-    for (std::size_t i = 0; i < config_.spin_iters_per_grain; ++i)
-      acc = acc * 1.0000001 + 1e-9;
-    local += std::fmod(acc, 1000.0);
-  }
+  for (std::size_t g = begin; g < end; ++g)
+    local += grain_value(g, config_.spin_iters_per_grain);
   // Atomic accumulate (relaxed FP reorder tolerated by the tests' epsilon).
+  double expected = checksum_.load();
+  while (!checksum_.compare_exchange_weak(expected, expected + local)) {
+  }
+  executed_.fetch_add(end - begin);
+}
+
+std::string SyntheticWorkload::remote_spec() const {
+  return "synthetic:grains=" + std::to_string(config_.grains) +
+         ",spin=" + std::to_string(config_.spin_iters_per_grain);
+}
+
+std::size_t SyntheticWorkload::result_bytes(std::size_t begin,
+                                            std::size_t end) const {
+  PLBHEC_EXPECTS(begin <= end && end <= config_.grains);
+  return sizeof(double);
+}
+
+void SyntheticWorkload::write_results(std::size_t begin, std::size_t end,
+                                      std::uint8_t* out) const {
+  PLBHEC_EXPECTS(begin <= end && end <= config_.grains);
+  // The block's partial sum is a pure function of the grain range, so
+  // recompute it instead of tracking per-block partials.
+  double local = 0.0;
+  for (std::size_t g = begin; g < end; ++g)
+    local += grain_value(g, config_.spin_iters_per_grain);
+  std::memcpy(out, &local, sizeof(double));
+}
+
+void SyntheticWorkload::read_results(std::size_t begin, std::size_t end,
+                                     const std::uint8_t* in) {
+  PLBHEC_EXPECTS(begin <= end && end <= config_.grains);
+  double local = 0.0;
+  std::memcpy(&local, in, sizeof(double));
   double expected = checksum_.load();
   while (!checksum_.compare_exchange_weak(expected, expected + local)) {
   }

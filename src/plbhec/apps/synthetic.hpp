@@ -41,6 +41,16 @@ class SyntheticWorkload final : public rt::Workload {
   void execute_cpu(std::size_t begin, std::size_t end) override;
   [[nodiscard]] bool supports_real_execution() const override { return true; }
 
+  /// Remote execution: each block's result is its 8-byte partial checksum,
+  /// recomputed deterministically from the grain indices on either side.
+  [[nodiscard]] std::string remote_spec() const override;
+  [[nodiscard]] std::size_t result_bytes(std::size_t begin,
+                                         std::size_t end) const override;
+  void write_results(std::size_t begin, std::size_t end,
+                     std::uint8_t* out) const override;
+  void read_results(std::size_t begin, std::size_t end,
+                    const std::uint8_t* in) override;
+
   /// Deterministic checksum accumulated by real executions; equal grain
   /// coverage yields equal checksums regardless of the schedule.
   [[nodiscard]] double checksum() const { return checksum_.load(); }

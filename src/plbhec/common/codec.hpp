@@ -1,0 +1,137 @@
+#pragma once
+/// \file codec.hpp
+/// Shared binary codec: fixed-width and varint read/write helpers plus the
+/// FNV-1a checksum, used by both the on-disk ProfileStore image
+/// (svc/profile_store.cpp) and the network wire format (net/wire.cpp), so
+/// the two formats share one audited encoder/decoder core.
+///
+/// Conventions (identical to the original ProfileStore format): native
+/// little-endian integers, IEEE-754 doubles, strings as u32 length +
+/// bytes. The reader is defensive — every primitive checks the remaining
+/// byte budget and latches `ok = false` on the first overrun, after which
+/// all further reads return zeros and fail; callers check `ok` once at the
+/// end (or at any structural decision point) instead of after every field.
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace plbhec::common {
+
+/// FNV-1a 64-bit over a byte span — the payload checksum of both the
+/// profile-store image and every network frame.
+[[nodiscard]] inline std::uint64_t fnv1a64(
+    std::span<const std::uint8_t> bytes) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (std::uint8_t b : bytes) {
+    h ^= b;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+/// Appending encoder over a caller-owned byte vector.
+struct ByteWriter {
+  std::vector<std::uint8_t>& out;
+
+  void bytes(const void* p, std::size_t n) {
+    if (n == 0) return;  // tolerate null data for empty spans
+    const std::size_t old = out.size();
+    out.resize(old + n);
+    std::memcpy(out.data() + old, p, n);
+  }
+  void u8(std::uint8_t v) { bytes(&v, sizeof v); }
+  void u16(std::uint16_t v) { bytes(&v, sizeof v); }
+  void u32(std::uint32_t v) { bytes(&v, sizeof v); }
+  void u64(std::uint64_t v) { bytes(&v, sizeof v); }
+  void f64(double v) { bytes(&v, sizeof v); }
+  void str(const std::string& s) {
+    u32(static_cast<std::uint32_t>(s.size()));
+    bytes(s.data(), s.size());
+  }
+  /// Unsigned LEB128: 7 value bits per byte, high bit = continuation.
+  void var_u64(std::uint64_t v) {
+    while (v >= 0x80) {
+      u8(static_cast<std::uint8_t>(v) | 0x80u);
+      v >>= 7;
+    }
+    u8(static_cast<std::uint8_t>(v));
+  }
+};
+
+/// Bounds-checked decoder over a borrowed byte span.
+struct ByteReader {
+  std::span<const std::uint8_t> data;
+  std::size_t pos = 0;
+  bool ok = true;
+
+  [[nodiscard]] std::size_t remaining() const { return data.size() - pos; }
+
+  bool take(void* p, std::size_t n) {
+    if (!ok || remaining() < n) {
+      ok = false;
+      return false;
+    }
+    std::memcpy(p, data.data() + pos, n);
+    pos += n;
+    return true;
+  }
+  std::uint8_t u8() {
+    std::uint8_t v = 0;
+    take(&v, sizeof v);
+    return v;
+  }
+  std::uint16_t u16() {
+    std::uint16_t v = 0;
+    take(&v, sizeof v);
+    return v;
+  }
+  std::uint32_t u32() {
+    std::uint32_t v = 0;
+    take(&v, sizeof v);
+    return v;
+  }
+  std::uint64_t u64() {
+    std::uint64_t v = 0;
+    take(&v, sizeof v);
+    return v;
+  }
+  double f64() {
+    double v = 0.0;
+    take(&v, sizeof v);
+    return v;
+  }
+  /// Reads a length-prefixed string, rejecting lengths above `max_bytes`
+  /// (a checksummed-but-hostile payload may still announce absurd sizes).
+  bool str(std::string& s, std::size_t max_bytes) {
+    const std::uint32_t n = u32();
+    if (!ok || n > max_bytes || remaining() < n) {
+      ok = false;
+      return false;
+    }
+    s.assign(reinterpret_cast<const char*>(data.data() + pos), n);
+    pos += n;
+    return true;
+  }
+  /// Unsigned LEB128; rejects encodings longer than 10 bytes (the widest a
+  /// u64 needs) and non-canonical trailing bits in the final byte.
+  std::uint64_t var_u64() {
+    std::uint64_t v = 0;
+    for (std::size_t shift = 0; shift < 64; shift += 7) {
+      const std::uint8_t b = u8();
+      if (!ok) return 0;
+      if (shift == 63 && (b & 0x7Eu) != 0) {  // bits past 2^64 set
+        ok = false;
+        return 0;
+      }
+      v |= static_cast<std::uint64_t>(b & 0x7Fu) << shift;
+      if ((b & 0x80u) == 0) return v;
+    }
+    ok = false;  // continuation bit set on the 10th byte
+    return 0;
+  }
+};
+
+}  // namespace plbhec::common

@@ -1,0 +1,270 @@
+#include "plbhec/net/remote_unit.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+#include "plbhec/common/contracts.hpp"
+#include "plbhec/net/wire.hpp"
+
+namespace plbhec::net {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_between(Clock::time_point a, Clock::time_point b) {
+  return std::chrono::duration<double>(b - a).count();
+}
+
+}  // namespace
+
+RemoteUnit::RemoteUnit(RemoteUnitOptions options)
+    : options_(std::move(options)) {
+  PLBHEC_EXPECTS(options_.heartbeat_interval_seconds > 0.0);
+  PLBHEC_EXPECTS(options_.max_missed_heartbeats > 0);
+}
+
+RemoteUnit::~RemoteUnit() { end_run(); }
+
+rt::UnitInfo RemoteUnit::describe() const {
+  rt::UnitInfo info;
+  info.name = options_.name;
+  info.kind = rt::ProcKind::kCpu;
+  info.machine = options_.machine;
+  return info;
+}
+
+std::unique_ptr<TcpConn> RemoteUnit::dial(double timeout_seconds) {
+  std::unique_ptr<TcpConn> conn = TcpConn::connect(
+      options_.host, options_.port,
+      std::min(timeout_seconds, options_.connect_timeout_seconds));
+  if (conn == nullptr) return nullptr;
+
+  HelloMsg hello;
+  hello.node = "coordinator";
+  if (!write_frame(*conn, MsgType::kHello, hello.encode())) return nullptr;
+  Frame frame;
+  if (read_frame(*conn, &frame, timeout_seconds) != FrameStatus::kOk ||
+      frame.type != MsgType::kHelloAck)
+    return nullptr;
+  const auto ack = HelloAckMsg::decode(frame.payload);
+  if (!ack || ack->protocol != kProtocolVersion) return nullptr;
+  return conn;
+}
+
+bool RemoteUnit::start_run_on(TcpConn& conn) {
+  BeginRunMsg begin;
+  begin.run_id = run_id_;
+  begin.spec = spec_;
+  if (!write_frame(conn, MsgType::kBeginRun, begin.encode())) return false;
+  Frame frame;
+  if (read_frame(conn, &frame, options_.control_timeout_seconds) !=
+          FrameStatus::kOk ||
+      frame.type != MsgType::kRunAck)
+    return false;
+  const auto ack = RunAckMsg::decode(frame.payload);
+  return ack && ack->ok && ack->run_id == run_id_;
+}
+
+bool RemoteUnit::begin_run(rt::Workload& workload) {
+  end_run();  // defensive: retire any previous run's monitor/connection
+  spec_ = workload.remote_spec();
+  if (spec_.empty()) return false;  // workload cannot execute remotely
+  ++run_id_;
+  demoted_.store(false, std::memory_order_release);
+
+  std::unique_ptr<TcpConn> conn = dial(options_.control_timeout_seconds);
+  if (conn == nullptr || !start_run_on(*conn)) return false;
+  {
+    std::lock_guard lock(conn_mutex_);
+    data_conn_ = std::move(conn);
+  }
+
+  monitor_stop_.store(false, std::memory_order_release);
+  heartbeat_thread_ = std::thread([this] { heartbeat_loop(); });
+  return true;
+}
+
+void RemoteUnit::end_run() {
+  monitor_stop_.store(true, std::memory_order_release);
+  if (heartbeat_thread_.joinable()) heartbeat_thread_.join();
+  std::shared_ptr<TcpConn> conn;
+  {
+    std::lock_guard lock(conn_mutex_);
+    conn = std::move(data_conn_);
+  }
+  if (conn != nullptr && !conn->cancelled())
+    (void)write_frame(*conn, MsgType::kShutdown, {});
+}
+
+RemoteUnit::BlockOutcome RemoteUnit::try_block(rt::Workload& workload,
+                                               std::size_t begin,
+                                               std::size_t end,
+                                               rt::BlockTiming& timing) {
+  std::shared_ptr<TcpConn> conn;
+  {
+    std::lock_guard lock(conn_mutex_);
+    conn = data_conn_;
+  }
+  if (conn == nullptr || conn->cancelled()) return BlockOutcome::kIoError;
+
+  AssignBlockMsg assign;
+  assign.run_id = run_id_;
+  assign.sequence = reconnects_.load() + 1;  // changes across reconnects
+  assign.begin = begin;
+  assign.end = end;
+  const std::vector<std::uint8_t> payload = assign.encode();
+
+  const Clock::time_point t_send = Clock::now();
+  if (!write_frame(*conn, MsgType::kAssignBlock, payload))
+    return BlockOutcome::kIoError;
+  PLBHEC_OBS_RECORD(
+      options_.sink,
+      {seconds_between(t_send, Clock::now()), obs::EventKind::kMsgSent,
+       options_.event_unit, 0.0, 0.0,
+       kFrameHeaderBytes + payload.size() + kFrameTrailerBytes,
+       static_cast<std::uint64_t>(MsgType::kAssignBlock)});
+
+  // Block execution has no deadline of its own — the heartbeat monitor
+  // cancels the connection if the daemon dies mid-block.
+  Frame frame;
+  if (read_frame(*conn, &frame) != FrameStatus::kOk)
+    return BlockOutcome::kIoError;
+  const Clock::time_point t_recv = Clock::now();
+  if (frame.type != MsgType::kBlockResult) return BlockOutcome::kFatal;
+  const auto result = BlockResultMsg::decode(frame.payload);
+  if (!result) return BlockOutcome::kFatal;
+  PLBHEC_OBS_RECORD(
+      options_.sink,
+      {seconds_between(t_send, t_recv), obs::EventKind::kMsgReceived,
+       options_.event_unit, 0.0, 0.0,
+       kFrameHeaderBytes + frame.payload.size() + kFrameTrailerBytes,
+       static_cast<std::uint64_t>(MsgType::kBlockResult)});
+
+  // A daemon-side refusal (bad spec, bad range) is a configuration error
+  // a reconnect cannot fix.
+  if (!result->ok || result->begin != begin || result->end != end)
+    return BlockOutcome::kFatal;
+  if (result->results.size() != workload.result_bytes(begin, end))
+    return BlockOutcome::kFatal;
+  workload.read_results(begin, end, result->results.data());
+
+  // The wall time of the round-trip minus the daemon's kernel time is
+  // the transfer cost the scheduler's G_p(x) fit learns from.
+  const double wall = seconds_between(t_send, t_recv);
+  timing.exec_seconds = std::min(result->exec_seconds, wall);
+  timing.transfer_seconds = std::max(0.0, wall - timing.exec_seconds);
+  return BlockOutcome::kOk;
+}
+
+bool RemoteUnit::reconnect() {
+  double backoff = options_.backoff_initial_seconds;
+  for (std::size_t attempt = 1; attempt <= options_.max_reconnect_attempts;
+       ++attempt) {
+    if (demoted()) return false;
+    std::this_thread::sleep_for(std::chrono::duration<double>(backoff));
+    reconnects_.fetch_add(1);
+    std::unique_ptr<TcpConn> conn = dial(options_.control_timeout_seconds);
+    const bool ok = conn != nullptr && start_run_on(*conn);
+    PLBHEC_OBS_RECORD(options_.sink,
+                      {0.0, obs::EventKind::kReconnect, options_.event_unit,
+                       backoff, 0.0, attempt, ok ? 1u : 0u});
+    if (ok) {
+      std::lock_guard lock(conn_mutex_);
+      data_conn_ = std::move(conn);
+      return true;
+    }
+    backoff = std::min(backoff * 2.0, options_.backoff_max_seconds);
+  }
+  return false;
+}
+
+bool RemoteUnit::execute(rt::Workload& workload, std::size_t begin,
+                         std::size_t end, rt::BlockTiming& timing) {
+  while (true) {
+    if (demoted()) return false;
+    switch (try_block(workload, begin, end, timing)) {
+      case BlockOutcome::kOk:
+        return true;
+      case BlockOutcome::kFatal:
+        demoted_.store(true, std::memory_order_release);
+        return false;
+      case BlockOutcome::kIoError:
+        if (!reconnect()) {
+          demoted_.store(true, std::memory_order_release);
+          return false;
+        }
+        break;  // retry the block on the fresh connection
+    }
+  }
+}
+
+void RemoteUnit::heartbeat_loop() {
+  std::unique_ptr<TcpConn> conn;  // dedicated liveness connection
+  std::uint64_t sequence = 0;
+  std::size_t missed = 0;
+  const double interval = options_.heartbeat_interval_seconds;
+
+  while (!monitor_stop_.load(std::memory_order_acquire)) {
+    std::this_thread::sleep_for(std::chrono::duration<double>(interval));
+    if (monitor_stop_.load(std::memory_order_acquire)) return;
+
+    bool alive = false;
+    if (conn == nullptr) conn = dial(interval);
+    if (conn != nullptr) {
+      HeartbeatMsg hb;
+      hb.sequence = ++sequence;
+      Frame frame;
+      if (write_frame(*conn, MsgType::kHeartbeat, hb.encode()) &&
+          read_frame(*conn, &frame, interval) == FrameStatus::kOk &&
+          frame.type == MsgType::kHeartbeatAck) {
+        const auto ack = HeartbeatAckMsg::decode(frame.payload);
+        alive = ack && ack->sequence == hb.sequence;
+      }
+      if (!alive) conn.reset();  // stale acks would desync; redial next tick
+    }
+
+    if (alive) {
+      missed = 0;
+      continue;
+    }
+    ++missed;
+    heartbeats_missed_.fetch_add(1);
+    PLBHEC_OBS_RECORD(options_.sink,
+                      {0.0, obs::EventKind::kHeartbeatMissed,
+                       options_.event_unit,
+                       static_cast<double>(missed) * interval, 0.0, missed,
+                       sequence});
+    if (missed >= options_.max_missed_heartbeats) {
+      // Declare the worker dead: demote and cut the data connection so a
+      // blocked BlockResult wait fails now and the engine requeues.
+      demoted_.store(true, std::memory_order_release);
+      std::lock_guard lock(conn_mutex_);
+      if (data_conn_ != nullptr) data_conn_->cancel();
+      return;
+    }
+  }
+}
+
+bool RemoteUnit::sync_profiles(svc::ProfileStore& store) {
+  std::unique_ptr<TcpConn> conn = dial(options_.control_timeout_seconds);
+  if (conn == nullptr) return false;
+  ProfileSyncMsg msg;
+  msg.store_image = store.encode();
+  if (!write_frame(*conn, MsgType::kProfileSync, msg.encode())) return false;
+  Frame frame;
+  if (read_frame(*conn, &frame, options_.control_timeout_seconds) !=
+          FrameStatus::kOk ||
+      frame.type != MsgType::kProfileSyncAck)
+    return false;
+  const auto ack = ProfileSyncMsg::decode(frame.payload);
+  if (!ack) return false;
+  svc::ProfileStore remote;
+  if (svc::ProfileStore::decode(ack->store_image, remote) !=
+      svc::StoreLoadStatus::kOk)
+    return false;
+  store.merge(remote);
+  (void)write_frame(*conn, MsgType::kShutdown, {});
+  return true;
+}
+
+}  // namespace plbhec::net

@@ -1,0 +1,115 @@
+#pragma once
+/// \file remote_unit.hpp
+/// Coordinator-side ExecUnit backed by a worker daemon across TCP. The
+/// ThreadEngine drives it exactly like a local unit; each block becomes an
+/// AssignBlock/BlockResult round-trip, and the observation fed back to the
+/// scheduler splits the measured wall time into the daemon's reported
+/// kernel time (-> F_p(x) samples) and the remainder — serialization,
+/// wire, deserialization — as transfer time (-> G_p(x) samples). The
+/// transfer model the paper fits per unit is therefore learned from real
+/// wire behavior, not an emulated memcpy.
+///
+/// Robustness: a dedicated heartbeat connection probes the daemon at a
+/// fixed interval; after `max_missed_heartbeats` consecutive misses the
+/// link is demoted and any blocked BlockResult wait is cancelled, so the
+/// engine requeues the in-flight range (zero lost grains). Transient
+/// connection drops are retried with bounded exponential backoff before
+/// the unit gives up and reports permanent failure.
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "plbhec/net/socket.hpp"
+#include "plbhec/obs/sink.hpp"
+#include "plbhec/rt/exec_unit.hpp"
+#include "plbhec/svc/profile_store.hpp"
+
+namespace plbhec::net {
+
+struct RemoteUnitOptions {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+  std::string name = "remote.worker";
+  std::uint32_t machine = 1;  ///< UnitInfo machine id (0 = coordinator host)
+  double connect_timeout_seconds = 2.0;
+  /// Bound on handshake/ack round-trips (not on block execution, whose
+  /// liveness the heartbeat monitor owns).
+  double control_timeout_seconds = 2.0;
+  double heartbeat_interval_seconds = 0.05;
+  std::size_t max_missed_heartbeats = 3;
+  std::size_t max_reconnect_attempts = 3;
+  double backoff_initial_seconds = 0.05;
+  double backoff_max_seconds = 1.0;
+  /// Event sink for msg/heartbeat/reconnect events; null = record
+  /// nothing. Not owned.
+  obs::EventSink* sink = nullptr;
+  /// Unit id stamped on this link's events (the engine assigns ids in
+  /// construction order, so the caller knows it).
+  std::uint32_t event_unit = 0xffff'ffffu;
+};
+
+class RemoteUnit final : public rt::ExecUnit {
+ public:
+  explicit RemoteUnit(RemoteUnitOptions options);
+  ~RemoteUnit() override;
+
+  [[nodiscard]] rt::UnitInfo describe() const override;
+  [[nodiscard]] bool begin_run(rt::Workload& workload) override;
+  [[nodiscard]] bool execute(rt::Workload& workload, std::size_t begin,
+                             std::size_t end,
+                             rt::BlockTiming& timing) override;
+  void end_run() override;
+
+  /// Bidirectional profile sync over a fresh connection: pushes `store`
+  /// to the daemon, merges the daemon's store image back into `store`.
+  /// Usable outside runs; false on any transport failure.
+  [[nodiscard]] bool sync_profiles(svc::ProfileStore& store);
+
+  /// Permanently out of service (heartbeat timeout or exhausted
+  /// reconnects).
+  [[nodiscard]] bool demoted() const {
+    return demoted_.load(std::memory_order_acquire);
+  }
+  [[nodiscard]] std::uint64_t reconnects_attempted() const {
+    return reconnects_.load();
+  }
+  [[nodiscard]] std::uint64_t heartbeats_missed() const {
+    return heartbeats_missed_.load();
+  }
+
+ private:
+  enum class BlockOutcome { kOk, kIoError, kFatal };
+
+  /// Opens a connection and completes the Hello round-trip, bounding both
+  /// the connect and the HelloAck wait by `timeout_seconds`. Control paths
+  /// pass the control timeout; the heartbeat loop passes its own interval
+  /// so a probe can never outlast the liveness budget it is measuring.
+  [[nodiscard]] std::unique_ptr<TcpConn> dial(double timeout_seconds);
+  /// Sends BeginRun on `conn` and waits for a positive RunAck.
+  [[nodiscard]] bool start_run_on(TcpConn& conn);
+  [[nodiscard]] BlockOutcome try_block(rt::Workload& workload,
+                                       std::size_t begin, std::size_t end,
+                                       rt::BlockTiming& timing);
+  /// Bounded-backoff re-dial + re-BeginRun; false when exhausted.
+  [[nodiscard]] bool reconnect();
+  void heartbeat_loop();
+
+  RemoteUnitOptions options_;
+  std::string spec_;        ///< current run's workload spec
+  std::uint64_t run_id_ = 0;
+
+  std::mutex conn_mutex_;   ///< guards data_conn_ replacement
+  std::shared_ptr<TcpConn> data_conn_;
+
+  std::thread heartbeat_thread_;
+  std::atomic<bool> monitor_stop_{false};
+  std::atomic<bool> demoted_{false};
+  std::atomic<std::uint64_t> reconnects_{0};
+  std::atomic<std::uint64_t> heartbeats_missed_{0};
+};
+
+}  // namespace plbhec::net

@@ -1,0 +1,200 @@
+#include "plbhec/net/workerd.hpp"
+
+#include <chrono>
+
+#include "plbhec/apps/registry.hpp"
+#include "plbhec/common/contracts.hpp"
+#include "plbhec/exec/thread_pool.hpp"
+#include "plbhec/net/wire.hpp"
+#include "plbhec/rt/workload.hpp"
+
+namespace plbhec::net {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Busy-stretches a measured duration to `factor` times its length (the
+/// same heterogeneity emulation LocalExecUnit applies).
+void stretch(Clock::time_point start, double measured_s, double factor) {
+  if (factor <= 1.0) return;
+  const double target = measured_s * factor;
+  while (std::chrono::duration<double>(Clock::now() - start).count() < target)
+    std::this_thread::yield();
+}
+
+}  // namespace
+
+WorkerDaemon::WorkerDaemon(WorkerDaemonOptions options)
+    : options_(std::move(options)) {
+  PLBHEC_EXPECTS(options_.slowdown >= 1.0);
+  listener_ = TcpListener::bind_loopback(options_.port);
+  PLBHEC_ASSERT(listener_ != nullptr);
+  accept_thread_ = std::thread([this] { accept_loop(); });
+}
+
+WorkerDaemon::~WorkerDaemon() { stop(); }
+
+std::uint16_t WorkerDaemon::port() const { return listener_->port(); }
+
+void WorkerDaemon::kill() {
+  stopping_.store(true, std::memory_order_release);
+  listener_->close();
+  std::lock_guard lock(mutex_);
+  for (auto& conn : conns_) conn->cancel();
+}
+
+void WorkerDaemon::stop() {
+  kill();
+  if (accept_thread_.joinable()) accept_thread_.join();
+  std::vector<std::thread> workers;
+  {
+    std::lock_guard lock(mutex_);
+    workers.swap(threads_);
+  }
+  for (std::thread& t : workers) t.join();
+}
+
+void WorkerDaemon::freeze() {
+  frozen_.store(true, std::memory_order_release);
+}
+
+void WorkerDaemon::unfreeze() {
+  frozen_.store(false, std::memory_order_release);
+}
+
+svc::ProfileStore WorkerDaemon::profiles() const {
+  std::lock_guard lock(mutex_);
+  return profiles_;
+}
+
+void WorkerDaemon::accept_loop() {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    std::unique_ptr<TcpConn> conn = listener_->accept(0.25);
+    if (conn == nullptr) continue;
+    connections_accepted_.fetch_add(1);
+    std::lock_guard lock(mutex_);
+    if (stopping_.load(std::memory_order_acquire)) {
+      conn->cancel();
+      return;
+    }
+    TcpConn* raw = conn.get();
+    conns_.push_back(std::move(conn));
+    threads_.emplace_back([this, raw] { serve(*raw); });
+  }
+}
+
+void WorkerDaemon::serve(TcpConn& conn) {
+  std::unique_ptr<rt::Workload> workload;
+  std::uint64_t run_id = 0;
+  std::vector<std::uint8_t> result_buf;
+
+  while (!stopping_.load(std::memory_order_acquire)) {
+    if (frozen_.load(std::memory_order_acquire)) {
+      // Hung-process simulation: stay connected, answer nothing.
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      continue;
+    }
+    if (!conn.readable(0.25)) {
+      if (conn.cancelled()) return;
+      continue;  // idle; re-check stop/freeze flags
+    }
+
+    Frame frame;
+    if (read_frame(conn, &frame) != FrameStatus::kOk) return;
+
+    switch (frame.type) {
+      case MsgType::kHello: {
+        const auto msg = HelloMsg::decode(frame.payload);
+        if (!msg) return;
+        HelloAckMsg ack;
+        ack.daemon = options_.name;
+        ack.concurrency = static_cast<std::uint32_t>(
+            exec::ThreadPool::global().concurrency());
+        if (!write_frame(conn, MsgType::kHelloAck, ack.encode())) return;
+        break;
+      }
+      case MsgType::kBeginRun: {
+        const auto msg = BeginRunMsg::decode(frame.payload);
+        if (!msg) return;
+        RunAckMsg ack;
+        ack.run_id = msg->run_id;
+        std::string error;
+        workload = apps::make_workload(msg->spec, &error);
+        if (workload != nullptr && !workload->supports_remote_execution()) {
+          workload.reset();
+          error = "workload does not support remote execution";
+        }
+        ack.ok = workload != nullptr;
+        ack.error = error;
+        run_id = msg->run_id;
+        if (!write_frame(conn, MsgType::kRunAck, ack.encode())) return;
+        break;
+      }
+      case MsgType::kAssignBlock: {
+        const auto msg = AssignBlockMsg::decode(frame.payload);
+        if (!msg) return;
+        BlockResultMsg result;
+        result.run_id = msg->run_id;
+        result.sequence = msg->sequence;
+        result.begin = msg->begin;
+        result.end = msg->end;
+        if (workload == nullptr || msg->run_id != run_id) {
+          result.error = "no active run for this block";
+        } else if (msg->end > workload->total_grains() ||
+                   msg->begin >= msg->end) {
+          result.error = "block range out of bounds";
+        } else {
+          const auto begin = static_cast<std::size_t>(msg->begin);
+          const auto end = static_cast<std::size_t>(msg->end);
+          const Clock::time_point t_exec = Clock::now();
+          workload->execute_cpu(begin, end);
+          const double measured =
+              std::chrono::duration<double>(Clock::now() - t_exec).count();
+          stretch(t_exec, measured, options_.slowdown);
+          result.exec_seconds =
+              std::chrono::duration<double>(Clock::now() - t_exec).count();
+          result_buf.resize(workload->result_bytes(begin, end));
+          workload->write_results(begin, end, result_buf.data());
+          result.results = result_buf;
+          result.ok = true;
+          blocks_served_.fetch_add(1);
+        }
+        if (!write_frame(conn, MsgType::kBlockResult, result.encode()))
+          return;
+        break;
+      }
+      case MsgType::kHeartbeat: {
+        const auto msg = HeartbeatMsg::decode(frame.payload);
+        if (!msg) return;
+        HeartbeatAckMsg ack;
+        ack.sequence = msg->sequence;
+        if (!write_frame(conn, MsgType::kHeartbeatAck, ack.encode())) return;
+        break;
+      }
+      case MsgType::kProfileSync: {
+        const auto msg = ProfileSyncMsg::decode(frame.payload);
+        if (!msg) return;
+        ProfileSyncMsg ack;
+        {
+          std::lock_guard lock(mutex_);
+          svc::ProfileStore incoming;
+          // A corrupt image is rejected wholesale; the ack still carries
+          // this daemon's (unchanged) store.
+          if (svc::ProfileStore::decode(msg->store_image, incoming) ==
+              svc::StoreLoadStatus::kOk)
+            profiles_.merge(incoming);
+          ack.store_image = profiles_.encode();
+        }
+        if (!write_frame(conn, MsgType::kProfileSyncAck, ack.encode()))
+          return;
+        break;
+      }
+      case MsgType::kShutdown:
+        return;
+      default:
+        return;  // protocol violation poisons the connection
+    }
+  }
+}
+
+}  // namespace plbhec::net

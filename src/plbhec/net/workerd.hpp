@@ -1,0 +1,93 @@
+#pragma once
+/// \file workerd.hpp
+/// The worker daemon: listens for coordinator connections and executes
+/// assigned blocks of a workload rebuilt locally from its remote_spec()
+/// string (apps/registry.hpp), shipping result bytes and kernel timings
+/// back. Every accepted connection is served by its own thread with its
+/// own workload instance, so one daemon process can host several remote
+/// units (and independent heartbeat links) concurrently — the kernels
+/// themselves fan out over the process-wide exec::ThreadPool exactly as
+/// local execution does.
+///
+/// For failure-injection tests the daemon can be killed (connections cut
+/// mid-block, as if the process died) or frozen (connections stay open
+/// but nothing is answered — the heartbeat-timeout path).
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "plbhec/net/socket.hpp"
+#include "plbhec/svc/profile_store.hpp"
+
+namespace plbhec::net {
+
+struct WorkerDaemonOptions {
+  std::uint16_t port = 0;  ///< 0 = ephemeral (read back via port())
+  std::string name = "workerd";
+  /// Artificially slow served kernels by this factor (>= 1.0), so a
+  /// single-host test cluster exhibits real heterogeneity across daemons.
+  double slowdown = 1.0;
+};
+
+class WorkerDaemon {
+ public:
+  /// Binds and starts the accept loop; aborts on bind failure (a daemon
+  /// that cannot listen has no purpose — and tests pass port 0).
+  explicit WorkerDaemon(WorkerDaemonOptions options);
+  ~WorkerDaemon();
+  WorkerDaemon(const WorkerDaemon&) = delete;
+  WorkerDaemon& operator=(const WorkerDaemon&) = delete;
+
+  [[nodiscard]] std::uint16_t port() const;
+
+  /// Graceful stop: closes the listener, cancels all connections, joins
+  /// all threads. Idempotent.
+  void stop();
+
+  /// Simulates a daemon crash: cuts every connection and the listener
+  /// without draining in-flight blocks. The object stays joinable/usable
+  /// for inspection; a coordinator sees I/O errors and missed heartbeats.
+  void kill();
+
+  /// Simulates a hung process: connections stay open but every serving
+  /// thread stops reading/answering (including heartbeats) until
+  /// unfreeze(). The heartbeat-timeout demotion path in RemoteUnit is
+  /// exercised with this.
+  void freeze();
+  void unfreeze();
+
+  /// Profiles pushed by coordinators via ProfileSync, merged.
+  [[nodiscard]] svc::ProfileStore profiles() const;
+
+  /// Lifetime counters (for tests/bench).
+  [[nodiscard]] std::uint64_t blocks_served() const {
+    return blocks_served_.load();
+  }
+  [[nodiscard]] std::uint64_t connections_accepted() const {
+    return connections_accepted_.load();
+  }
+
+ private:
+  void accept_loop();
+  void serve(TcpConn& conn);
+
+  WorkerDaemonOptions options_;
+  std::unique_ptr<TcpListener> listener_;
+  std::thread accept_thread_;
+  std::atomic<bool> stopping_{false};
+  std::atomic<bool> frozen_{false};
+  std::atomic<std::uint64_t> blocks_served_{0};
+  std::atomic<std::uint64_t> connections_accepted_{0};
+
+  mutable std::mutex mutex_;  ///< guards conns_, threads_, profiles_
+  std::vector<std::unique_ptr<TcpConn>> conns_;  ///< live until stop()
+  std::vector<std::thread> threads_;
+  svc::ProfileStore profiles_;
+};
+
+}  // namespace plbhec::net

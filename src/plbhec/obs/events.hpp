@@ -34,10 +34,14 @@ enum class EventKind : std::uint8_t {
   kLeaseRevoked,        ///< service: unit lease taken back from a job
   kWarmStartHit,        ///< stored profile validated; probing shortened
   kWarmStartMiss,       ///< stored profile rejected; cold probing
+  kMsgSent,             ///< net: frame written to a worker connection
+  kMsgReceived,         ///< net: frame read from a worker connection
+  kHeartbeatMissed,     ///< net: heartbeat ack overdue on a worker link
+  kReconnect,           ///< net: reconnect attempt to a worker daemon
 };
 
 inline constexpr std::size_t kEventKindCount =
-    static_cast<std::size_t>(EventKind::kWarmStartMiss) + 1;
+    static_cast<std::size_t>(EventKind::kReconnect) + 1;
 
 /// One recorded decision. `time` is virtual (simulated) seconds, matching
 /// the busy-segment trace timeline. The meaning of the payload fields

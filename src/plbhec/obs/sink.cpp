@@ -23,6 +23,10 @@ const char* to_string(EventKind kind) {
     case EventKind::kLeaseRevoked: return "lease_revoked";
     case EventKind::kWarmStartHit: return "warmstart_hit";
     case EventKind::kWarmStartMiss: return "warmstart_miss";
+    case EventKind::kMsgSent: return "msg_sent";
+    case EventKind::kMsgReceived: return "msg_received";
+    case EventKind::kHeartbeatMissed: return "heartbeat_missed";
+    case EventKind::kReconnect: return "reconnect";
   }
   return "unknown";
 }
@@ -64,6 +68,14 @@ std::array<const char*, 4> arg_names(EventKind kind) {
       return {"rel_error", "r2", "seeded_samples", nullptr};
     case EventKind::kWarmStartMiss:
       return {"rel_error", "r2", "seeded_samples", nullptr};
+    case EventKind::kMsgSent:
+      return {nullptr, nullptr, "bytes", "msg_type"};
+    case EventKind::kMsgReceived:
+      return {nullptr, nullptr, "bytes", "msg_type"};
+    case EventKind::kHeartbeatMissed:
+      return {"overdue_seconds", nullptr, "missed", "sequence"};
+    case EventKind::kReconnect:
+      return {"backoff_seconds", nullptr, "attempt", "success"};
   }
   return {nullptr, nullptr, nullptr, nullptr};
 }

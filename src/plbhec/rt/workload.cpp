@@ -8,4 +8,20 @@ void Workload::execute_cpu(std::size_t, std::size_t) {
   PLBHEC_ASSERT(!"execute_cpu not implemented for this workload");
 }
 
+std::size_t Workload::result_bytes(std::size_t, std::size_t) const {
+  return 0;
+}
+
+void Workload::write_results(std::size_t begin, std::size_t end,
+                             std::uint8_t*) const {
+  // Only reachable for a workload that announces result bytes but forgot
+  // the serializer.
+  PLBHEC_EXPECTS(result_bytes(begin, end) == 0);
+}
+
+void Workload::read_results(std::size_t begin, std::size_t end,
+                            const std::uint8_t*) {
+  PLBHEC_EXPECTS(result_bytes(begin, end) == 0);
+}
+
 }  // namespace plbhec::rt

@@ -6,6 +6,7 @@
 /// threaded executor runs the real CPU implementation.
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 
 #include "plbhec/sim/workload_profile.hpp"
@@ -32,6 +33,37 @@ class Workload {
   virtual void execute_cpu(std::size_t begin, std::size_t end);
 
   [[nodiscard]] virtual bool supports_real_execution() const { return false; }
+
+  // ---- Remote execution (net transport) --------------------------------
+  //
+  // A remote worker daemon reconstructs the workload from remote_spec()
+  // (see apps::make_workload), executes blocks on its own instance, and
+  // ships the block results back; the coordinator applies them with
+  // read_results() so its instance ends bit-identical to an in-process
+  // run. Construction from the spec must be deterministic (seeded), or the
+  // two sides would compute on different data.
+
+  /// Construction recipe for a worker daemon, e.g. "matmul:n=256".
+  /// Empty = this workload cannot be executed remotely.
+  [[nodiscard]] virtual std::string remote_spec() const { return {}; }
+
+  /// Serialized size of the results of grains [begin, end). May be 0 for
+  /// a block whose results need not be shipped (side-effect-free work).
+  [[nodiscard]] virtual std::size_t result_bytes(std::size_t begin,
+                                                 std::size_t end) const;
+
+  /// Serializes the results of grains [begin, end) — exactly
+  /// result_bytes(begin, end) bytes — after execute_cpu ran on them.
+  virtual void write_results(std::size_t begin, std::size_t end,
+                             std::uint8_t* out) const;
+
+  /// Applies results of grains [begin, end) computed by a remote unit.
+  virtual void read_results(std::size_t begin, std::size_t end,
+                            const std::uint8_t* in);
+
+  [[nodiscard]] bool supports_remote_execution() const {
+    return !remote_spec().empty();
+  }
 };
 
 }  // namespace plbhec::rt

@@ -7,10 +7,15 @@
 #include <tuple>
 #include <utility>
 
+#include "plbhec/common/codec.hpp"
 #include "plbhec/common/contracts.hpp"
 
 namespace plbhec::svc {
 namespace {
+
+using common::ByteReader;
+using common::ByteWriter;
+using common::fnv1a64;
 
 constexpr char kMagic[8] = {'P', 'L', 'B', 'H', 'E', 'C', 'P', 'S'};
 constexpr std::size_t kHeaderBytes = 8 + 4 + 8;  // magic + version + payload
@@ -23,31 +28,10 @@ constexpr std::size_t kMaxStringBytes = 4096;
 constexpr std::size_t kMaxSamples = 1u << 20;
 constexpr std::size_t kMaxModelTerms = 64;
 
-std::uint64_t fnv1a64(std::span<const std::uint8_t> bytes) {
-  std::uint64_t h = 1469598103934665603ULL;
-  for (std::uint8_t b : bytes) {
-    h ^= b;
-    h *= 1099511628211ULL;
-  }
-  return h;
-}
-
 // ---- encoding ------------------------------------------------------------
 
-struct Writer {
-  std::vector<std::uint8_t>& out;
-
-  void bytes(const void* p, std::size_t n) {
-    const auto* b = static_cast<const std::uint8_t*>(p);
-    out.insert(out.end(), b, b + n);
-  }
-  void u32(std::uint32_t v) { bytes(&v, sizeof v); }
-  void u64(std::uint64_t v) { bytes(&v, sizeof v); }
-  void f64(double v) { bytes(&v, sizeof v); }
-  void str(const std::string& s) {
-    u32(static_cast<std::uint32_t>(s.size()));
-    bytes(s.data(), s.size());
-  }
+/// Domain-specific composites over the shared byte codec.
+struct Writer : ByteWriter {
   void samples(const std::vector<fit::Sample>& v) {
     u32(static_cast<std::uint32_t>(v.size()));
     for (const fit::Sample& s : v) {
@@ -79,45 +63,8 @@ struct Writer {
 
 // ---- decoding ------------------------------------------------------------
 
-struct Reader {
-  std::span<const std::uint8_t> data;
-  std::size_t pos = 0;
-  bool ok = true;
-
-  bool take(void* p, std::size_t n) {
-    if (!ok || data.size() - pos < n) {
-      ok = false;
-      return false;
-    }
-    std::memcpy(p, data.data() + pos, n);
-    pos += n;
-    return true;
-  }
-  std::uint32_t u32() {
-    std::uint32_t v = 0;
-    take(&v, sizeof v);
-    return v;
-  }
-  std::uint64_t u64() {
-    std::uint64_t v = 0;
-    take(&v, sizeof v);
-    return v;
-  }
-  double f64() {
-    double v = 0.0;
-    take(&v, sizeof v);
-    return v;
-  }
-  bool str(std::string& s) {
-    const std::uint32_t n = u32();
-    if (!ok || n > kMaxStringBytes || data.size() - pos < n) {
-      ok = false;
-      return false;
-    }
-    s.assign(reinterpret_cast<const char*>(data.data() + pos), n);
-    pos += n;
-    return true;
-  }
+struct Reader : ByteReader {
+  bool str(std::string& s) { return ByteReader::str(s, kMaxStringBytes); }
   bool samples(std::vector<fit::Sample>& v) {
     const std::uint32_t n = u32();
     if (!ok || n > kMaxSamples) {
@@ -263,6 +210,10 @@ void ProfileStore::put(ProfileEntry entry) {
   }
   entry.updates = 1;
   entries_.insert(it, std::move(entry));
+}
+
+void ProfileStore::merge(const ProfileStore& other) {
+  for (const ProfileEntry& e : other.entries_) put(e);
 }
 
 rt::WarmProfile ProfileStore::warm_profile(

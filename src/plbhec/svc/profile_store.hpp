@@ -94,6 +94,11 @@ class ProfileStore {
   /// superseded entry's update count. Entries stay sorted by key.
   void put(ProfileEntry entry);
 
+  /// Merges every entry of `other` into this store (put() per entry, so
+  /// update counts of superseded keys are preserved). Used by the network
+  /// profile-sync message to fold a coordinator's store into a worker's.
+  void merge(const ProfileStore& other);
+
   /// Warm-start profile for (app, device); a default-constructed (unusable)
   /// profile when the key is absent.
   [[nodiscard]] rt::WarmProfile warm_profile(

@@ -22,13 +22,19 @@ optimization is gone", not a 20% wobble:
 * ``max_abs_diff``         fresh <= max(1e-6, 100 x baseline)
 * ``probing_saved_ratio``  fresh >= 0.25 x baseline  (bench_service:
   probing blocks the warm start saved relative to the cold run's total)
+* ``transfer_r2``          fresh >= 0.75 x baseline  (bench_net: G_p(x)
+  fit quality over measured loopback wire timings)
 
 Identity keys (``n``, ``samples``, ``lanes``, ``units``, ...) and the
 overall JSON structure must match exactly, so a silently shrunk sweep
 also fails the gate. For bench_service the arrival trace itself is
 identity-checked (``trace_kinds``, ``trace_priorities``, ``jobs``,
 ``replay_identical``): the fixed-seed trace must replay structurally
-unchanged, and the two warm replays must have agreed exactly.
+unchanged, and the two warm replays must have agreed exactly. For
+bench_net the correctness facts are identity-checked
+(``bit_identical``, ``lost_grains``, ``demoted``): the distributed
+product must stay bit-identical and the worker-kill run must keep
+losing zero grains.
 
 Usage:  check_bench.py BASELINE.json FRESH.json [more pairs ...]
         check_bench.py --self-test
@@ -46,6 +52,7 @@ RATIO_GATES = {
     "parallel_speedup": ("floor", 0.05),
     "cache_speedup": ("floor", 0.05),
     "probing_saved_ratio": ("floor", 0.25),
+    "transfer_r2": ("floor", 0.75),
 }
 CEIL_GATES = {
     "overhead_pct": 2.0,  # abs ceiling; recording must stay under 2%
@@ -59,7 +66,12 @@ IGNORED_KEYS = {"hardware_concurrency", "reps", "genes", "events"}
 IDENTITY_KEYS = {"n", "samples", "lanes", "units", "samples_per_unit",
                  "benchmark", "compiled_in", "makespan_equal",
                  "jobs", "seed", "trace_kinds", "trace_priorities",
-                 "replay_identical"}
+                 "replay_identical",
+                 "curve_n", "dist_n", "kill_grains", "transfer_samples",
+                 "payload_min_bytes", "payload_max_bytes",
+                 "bit_identical", "dist_total_grains",
+                 "dist_grains_counted", "lost_grains", "demoted",
+                 "kill_executed_grains"}
 
 
 def fail(errors, path, message):
@@ -140,6 +152,12 @@ def self_test():
         "max_rel_diff": 1e-12,
         "run_us": 120.0,
         "arrival_times": [0.1, 0.2],
+        # bench_net-shaped facts ride along in the same baseline so the
+        # transport gates are exercised by the same case table.
+        "transfer_r2": 0.90,
+        "bit_identical": True,
+        "lost_grains": 0,
+        "demoted": True,
     }
 
     def variant(**overrides):
@@ -168,6 +186,12 @@ def self_test():
         ("diverged replay fails", variant(replay_identical=False), True),
         ("dropped key fails structurally", dropped, True),
         ("shrunk sweep fails", variant(arrival_times=[0.1]), True),
+        ("wobbling transfer_r2 passes", variant(transfer_r2=0.82), False),
+        ("collapsed transfer_r2 fails", variant(transfer_r2=0.3), True),
+        ("lost grains fail", variant(lost_grains=17), True),
+        ("diverged distributed result fails",
+         variant(bit_identical=False), True),
+        ("undetected dead worker fails", variant(demoted=False), True),
     ]
     failures = 0
     for label, fresh, must_flag in cases:
