@@ -93,8 +93,12 @@ std::unique_ptr<rt::Workload> make_workload(const std::string& spec,
     SyntheticWorkload::Config cfg;
     cfg.grains = static_cast<std::size_t>(get("grains", 0));
     cfg.spin_iters_per_grain = static_cast<std::size_t>(get("spin", 2'000));
+    cfg.result_payload_per_grain =
+        static_cast<std::size_t>(get("payload", 0));
     if (cfg.grains == 0 || cfg.grains > kMaxRemoteGrains)
       return fail(error, "synthetic: grains out of range");
+    if (cfg.result_payload_per_grain > (1u << 20))
+      return fail(error, "synthetic: payload out of range");
     return std::make_unique<SyntheticWorkload>(cfg);
   }
   return fail(error, "unknown workload '" + name + "'");

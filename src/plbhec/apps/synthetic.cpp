@@ -46,13 +46,14 @@ void SyntheticWorkload::execute_cpu(std::size_t begin, std::size_t end) {
 
 std::string SyntheticWorkload::remote_spec() const {
   return "synthetic:grains=" + std::to_string(config_.grains) +
-         ",spin=" + std::to_string(config_.spin_iters_per_grain);
+         ",spin=" + std::to_string(config_.spin_iters_per_grain) +
+         ",payload=" + std::to_string(config_.result_payload_per_grain);
 }
 
 std::size_t SyntheticWorkload::result_bytes(std::size_t begin,
                                             std::size_t end) const {
   PLBHEC_EXPECTS(begin <= end && end <= config_.grains);
-  return sizeof(double);
+  return sizeof(double) + (end - begin) * config_.result_payload_per_grain;
 }
 
 void SyntheticWorkload::write_results(std::size_t begin, std::size_t end,
@@ -64,6 +65,12 @@ void SyntheticWorkload::write_results(std::size_t begin, std::size_t end,
   for (std::size_t g = begin; g < end; ++g)
     local += grain_value(g, config_.spin_iters_per_grain);
   std::memcpy(out, &local, sizeof(double));
+  // Deterministic filler so the coordinator can verify the payload
+  // end-to-end regardless of which host produced it.
+  std::uint8_t* filler = out + sizeof(double);
+  for (std::size_t g = begin; g < end; ++g)
+    for (std::size_t b = 0; b < config_.result_payload_per_grain; ++b)
+      *filler++ = static_cast<std::uint8_t>((g * 131 + b * 29) & 0xff);
 }
 
 void SyntheticWorkload::read_results(std::size_t begin, std::size_t end,
@@ -71,6 +78,13 @@ void SyntheticWorkload::read_results(std::size_t begin, std::size_t end,
   PLBHEC_EXPECTS(begin <= end && end <= config_.grains);
   double local = 0.0;
   std::memcpy(&local, in, sizeof(double));
+  // Reject corrupted filler outright — a transport bug must not silently
+  // pass as a correct run just because the checksum word survived.
+  const std::uint8_t* filler = in + sizeof(double);
+  for (std::size_t g = begin; g < end; ++g)
+    for (std::size_t b = 0; b < config_.result_payload_per_grain; ++b)
+      PLBHEC_EXPECTS(*filler++ ==
+                     static_cast<std::uint8_t>((g * 131 + b * 29) & 0xff));
   double expected = checksum_.load();
   while (!checksum_.compare_exchange_weak(expected, expected + local)) {
   }

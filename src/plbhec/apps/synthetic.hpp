@@ -25,6 +25,11 @@ class SyntheticWorkload final : public rt::Workload {
     double cpu_efficiency = 0.5;
     /// Real-mode kernel iterations per grain (keep small in tests).
     std::size_t spin_iters_per_grain = 2'000;
+    /// Extra deterministic filler bytes per grain appended to each remote
+    /// block result (after the 8-byte partial checksum). 0 keeps the
+    /// original tiny result; bench_net raises it to make the wire cost
+    /// comparable to the kernel cost when measuring pipelining overlap.
+    std::size_t result_payload_per_grain = 0;
   };
 
   explicit SyntheticWorkload(Config config) : config_(config) {}

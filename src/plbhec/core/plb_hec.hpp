@@ -85,6 +85,21 @@ struct PlbHecOptions {
   /// Relative error bound of the warm validation rule: |observed -
   /// predicted| / predicted on the validation block must stay under this.
   double warm_rel_error = 0.35;
+  /// Cost-regime selection for pipelined transports. Each completed block
+  /// yields an observed overlap fraction — (transfer + exec - span) /
+  /// min(transfer, exec), clamped to [0, 1], where span is the block's
+  /// wall time from the engine's observation. Under a synchronous unit
+  /// span = transfer + exec and the fraction is 0; a pipelined
+  /// net::RemoteUnit hides part of the smaller phase and reports span <
+  /// transfer + exec. The per-unit EWMA of this fraction (weight
+  /// `overlap_smoothing`) is attached to the unit's fitted model once it
+  /// exceeds `overlap_activation`, switching that unit's cost from the
+  /// paper's additive E = F + G to the steady-state blend toward
+  /// max(F, G) (fit::PerfModel::overlap). Units below the activation keep
+  /// the additive model bit for bit, so sync-mode schedules are
+  /// unchanged.
+  double overlap_smoothing = 0.4;
+  double overlap_activation = 0.2;
 };
 
 /// Diagnostics exposed for the benchmark harness.
@@ -112,6 +127,8 @@ struct PlbHecStats {
   std::size_t warm_misses = 0;     ///< stored profiles rejected at validation
   std::size_t probe_blocks_saved = 0;  ///< schedule blocks skipped by warm
                                        ///< hits (min_probe_rounds - 1 each)
+  std::size_t overlap_units = 0;   ///< units on the max(F, G) regime at the
+                                   ///< most recent selection
 };
 
 /// Publishes the scheduler statistics into a counter registry under the
@@ -119,6 +136,15 @@ struct PlbHecStats {
 /// (one snapshot per call; values overwrite).
 void publish_counters(obs::CounterRegistry& registry,
                       const PlbHecStats& stats);
+
+/// Publishes each unit's fitted transfer-model coefficients (Eq. 2 slope
+/// a1, latency a2, R²) and its cost-regime overlap under
+/// "plbhec.unit<N>.*", so run summaries and trace exports show wire
+/// health per remote unit without rerunning bench_net. Times are scaled
+/// to integer microseconds, ratios to milli-units (the registry holds
+/// u64 counters).
+void publish_transfer_models(obs::CounterRegistry& registry,
+                             const std::vector<fit::PerfModel>& models);
 
 class PlbHecScheduler final : public rt::Scheduler {
  public:
@@ -145,6 +171,11 @@ class PlbHecScheduler final : public rt::Scheduler {
   [[nodiscard]] const PlbHecStats& stats() const { return stats_; }
   /// Raw profiling samples (Fig. 1 reproduction data).
   [[nodiscard]] const rt::ProfileDb& profiles() const { return profiles_; }
+  /// Smoothed per-unit observed-overlap fractions driving the cost-regime
+  /// selection (see PlbHecOptions::overlap_activation).
+  [[nodiscard]] const std::vector<double>& overlap_estimates() const {
+    return overlap_ewma_;
+  }
 
  private:
   enum class Phase { kModeling, kExecuting };
@@ -179,6 +210,7 @@ class PlbHecScheduler final : public rt::Scheduler {
   std::vector<double> prev_probe_time_;      ///< previous probe duration
   std::size_t modeling_issued_ = 0;          ///< probe grains handed out
   std::vector<WarmState> warm_state_;        ///< per-unit warm lifecycle
+  std::vector<double> overlap_ewma_;         ///< smoothed observed overlap
   std::vector<bool> failed_;
 
   std::vector<fit::PerfModel> models_;

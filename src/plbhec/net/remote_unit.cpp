@@ -5,6 +5,7 @@
 
 #include "plbhec/common/contracts.hpp"
 #include "plbhec/net/wire.hpp"
+#include "plbhec/obs/counters.hpp"
 
 namespace plbhec::net {
 namespace {
@@ -109,7 +110,7 @@ RemoteUnit::BlockOutcome RemoteUnit::try_block(rt::Workload& workload,
 
   AssignBlockMsg assign;
   assign.run_id = run_id_;
-  assign.sequence = reconnects_.load() + 1;  // changes across reconnects
+  assign.sequence = ++next_sequence_;
   assign.begin = begin;
   assign.end = end;
   const std::vector<std::uint8_t> payload = assign.encode();
@@ -142,7 +143,8 @@ RemoteUnit::BlockOutcome RemoteUnit::try_block(rt::Workload& workload,
 
   // A daemon-side refusal (bad spec, bad range) is a configuration error
   // a reconnect cannot fix.
-  if (!result->ok || result->begin != begin || result->end != end)
+  if (!result->ok || result->sequence != assign.sequence ||
+      result->begin != begin || result->end != end)
     return BlockOutcome::kFatal;
   if (result->results.size() != workload.result_bytes(begin, end))
     return BlockOutcome::kFatal;
@@ -154,6 +156,193 @@ RemoteUnit::BlockOutcome RemoteUnit::try_block(rt::Workload& workload,
   timing.exec_seconds = std::min(result->exec_seconds, wall);
   timing.transfer_seconds = std::max(0.0, wall - timing.exec_seconds);
   return BlockOutcome::kOk;
+}
+
+RemoteUnit::BlockOutcome RemoteUnit::try_pipelined(rt::Workload& workload,
+                                                   std::size_t begin,
+                                                   std::size_t end,
+                                                   rt::BlockTiming& timing) {
+  std::shared_ptr<TcpConn> conn;
+  {
+    std::lock_guard lock(conn_mutex_);
+    conn = data_conn_;
+  }
+  if (conn == nullptr || conn->cancelled()) return BlockOutcome::kIoError;
+
+  const std::size_t depth = options_.pipeline_depth;
+  const std::size_t grains = end - begin;
+  const std::size_t min_chunk =
+      std::max<std::size_t>(1, options_.min_chunk_grains);
+  // Up to two chunks per window slot, so a refill is always ready the
+  // moment a result frees a slot; execute() guarantees >= 2 chunks fit.
+  const std::size_t chunks = std::min(2 * depth, grains / min_chunk);
+
+  struct Chunk {
+    std::size_t begin = 0;
+    std::size_t end = 0;
+    std::vector<std::uint8_t> results;
+    double exec_seconds = 0.0;
+    double wire_seconds = 0.0;
+    bool done = false;
+  };
+  std::vector<Chunk> plan(chunks);
+  const std::size_t chunk_base = grains / chunks;
+  std::size_t extra = grains % chunks;
+  std::size_t cursor = begin;
+  for (Chunk& c : plan) {
+    c.begin = cursor;
+    c.end = cursor + chunk_base + (extra > 0 ? 1 : 0);
+    if (extra > 0) --extra;
+    cursor = c.end;
+  }
+  const std::uint64_t base_seq = next_sequence_ + 1;
+  next_sequence_ += chunks;
+
+  std::size_t completed = 0;
+  std::size_t in_flight = 0;
+  bool fatal = false;
+  // Buffers one chunk result; nothing touches `workload` until every
+  // chunk arrived, so any failure exit leaves it untouched and the
+  // engine can requeue the whole [begin, end) range.
+  const auto accept = [&](BlockResultMsg&& entry, double wire_share) {
+    if (entry.run_id != run_id_ || entry.sequence < base_seq ||
+        entry.sequence >= base_seq + chunks) {
+      fatal = true;
+      return;
+    }
+    Chunk& c = plan[static_cast<std::size_t>(entry.sequence - base_seq)];
+    if (c.done || !entry.ok || entry.begin != c.begin || entry.end != c.end ||
+        entry.results.size() != workload.result_bytes(c.begin, c.end)) {
+      fatal = true;
+      return;
+    }
+    c.results = std::move(entry.results);
+    c.exec_seconds = entry.exec_seconds;
+    c.wire_seconds += wire_share;
+    c.done = true;
+    ++completed;
+    --in_flight;
+  };
+
+  const Clock::time_point t_start = Clock::now();
+  // Double-buffered serialization: the frame body of chunk k+1 is
+  // encoded before chunk k hits the wire, so encode overlaps send.
+  std::vector<std::uint8_t> bodies[2];
+  FrameScratch scratch;
+  std::size_t next_send = 0;
+  std::size_t encoded = 0;
+  const auto encode_chunk = [&](std::size_t i) {
+    AssignBlockMsg assign;
+    assign.run_id = run_id_;
+    assign.sequence = base_seq + i;
+    assign.begin = plan[i].begin;
+    assign.end = plan[i].end;
+    assign.encode_into(bodies[i & 1]);
+  };
+
+  while (completed < chunks) {
+    while (in_flight < depth && next_send < chunks) {
+      if (encoded == next_send) encode_chunk(encoded++);
+      if (encoded == next_send + 1 && encoded < chunks)
+        encode_chunk(encoded++);
+      const std::vector<std::uint8_t>& body = bodies[next_send & 1];
+      const Clock::time_point t_send = Clock::now();
+      if (!write_frame(*conn, MsgType::kAssignBlock, body, scratch))
+        return BlockOutcome::kIoError;
+      plan[next_send].wire_seconds += seconds_between(t_send, Clock::now());
+      PLBHEC_OBS_RECORD(
+          options_.sink,
+          {seconds_between(t_send, Clock::now()), obs::EventKind::kMsgSent,
+           options_.event_unit, 0.0, 0.0,
+           kFrameHeaderBytes + body.size() + kFrameTrailerBytes,
+           static_cast<std::uint64_t>(MsgType::kAssignBlock)});
+      ++next_send;
+      ++in_flight;
+      wire_stats_.chunks_pipelined += 1;
+      wire_stats_.inflight_peak =
+          std::max<std::uint64_t>(wire_stats_.inflight_peak, in_flight);
+    }
+
+    // One result frame — a single chunk or a batch, in any order. No
+    // deadline of its own: the heartbeat monitor cancels the connection
+    // if the daemon dies with chunks in flight.
+    Frame frame;
+    FrameReadTiming io;
+    if (read_frame(*conn, &frame, -1.0, &io) != FrameStatus::kOk)
+      return BlockOutcome::kIoError;
+    PLBHEC_OBS_RECORD(
+        options_.sink,
+        {io.wait_seconds + io.drain_seconds, obs::EventKind::kMsgReceived,
+         options_.event_unit, 0.0, 0.0,
+         kFrameHeaderBytes + frame.payload.size() + kFrameTrailerBytes,
+         static_cast<std::uint64_t>(frame.type)});
+    if (frame.type == MsgType::kBlockResult) {
+      auto result = BlockResultMsg::decode(frame.payload);
+      if (!result) return BlockOutcome::kFatal;
+      accept(std::move(*result), io.drain_seconds);
+    } else if (frame.type == MsgType::kBlockResultBatch) {
+      auto batch = BlockResultBatchMsg::decode(frame.payload);
+      if (!batch) return BlockOutcome::kFatal;
+      // Apportion the frame's drain time by encoded-size share so the
+      // per-chunk wire costs still sum to the measured drain.
+      double total_weight = 0.0;
+      for (const BlockResultMsg& r : batch->results)
+        total_weight += static_cast<double>(r.results.size()) + 64.0;
+      wire_stats_.batched_results += batch->results.size();
+      for (BlockResultMsg& r : batch->results) {
+        const double share =
+            (static_cast<double>(r.results.size()) + 64.0) / total_weight;
+        accept(std::move(r), io.drain_seconds * share);
+      }
+    } else {
+      return BlockOutcome::kFatal;
+    }
+    if (fatal) return BlockOutcome::kFatal;
+  }
+
+  // Every chunk arrived: apply all results (all-or-nothing contract).
+  for (const Chunk& c : plan)
+    workload.read_results(c.begin, c.end, c.results.data());
+
+  double exec_total = 0.0;
+  double wire_total = 0.0;
+  for (const Chunk& c : plan) {
+    exec_total += c.exec_seconds;
+    wire_total += c.wire_seconds;
+  }
+  const double wall = seconds_between(t_start, Clock::now());
+  // Unlike the sync path, transfer is measured per chunk (send + result
+  // drain), not inferred as wall - exec: under overlap that difference
+  // no longer equals the wire cost.
+  timing.exec_seconds = std::min(exec_total, wall);
+  timing.transfer_seconds = std::clamp(wire_total, 0.0, wall);
+  timing.wall_seconds = wall;
+
+  const double lo = std::min(timing.transfer_seconds, timing.exec_seconds);
+  if (lo > 0.0) {
+    const double serial = timing.transfer_seconds + timing.exec_seconds;
+    wire_stats_.overlap_saved_seconds += std::clamp(serial - wall, 0.0, lo);
+    wire_stats_.overlap_floor_seconds += lo;
+  }
+  return BlockOutcome::kOk;
+}
+
+double RemoteUnit::overlap_fraction() const {
+  if (wire_stats_.overlap_floor_seconds <= 0.0) return 0.0;
+  return std::clamp(
+      wire_stats_.overlap_saved_seconds / wire_stats_.overlap_floor_seconds,
+      0.0, 1.0);
+}
+
+void RemoteUnit::publish_counters(obs::CounterRegistry& registry) const {
+  const std::string prefix = "net." + options_.name + ".";
+  registry.set(prefix + "chunks_pipelined", wire_stats_.chunks_pipelined);
+  registry.set(prefix + "batched_results", wire_stats_.batched_results);
+  registry.set(prefix + "inflight_peak", wire_stats_.inflight_peak);
+  registry.set(prefix + "overlap_milli",
+               static_cast<std::uint64_t>(overlap_fraction() * 1000.0 + 0.5));
+  registry.set(prefix + "reconnects", reconnects_.load());
+  registry.set(prefix + "heartbeats_missed", heartbeats_missed_.load());
 }
 
 bool RemoteUnit::reconnect() {
@@ -180,9 +369,14 @@ bool RemoteUnit::reconnect() {
 
 bool RemoteUnit::execute(rt::Workload& workload, std::size_t begin,
                          std::size_t end, rt::BlockTiming& timing) {
+  const std::size_t min_chunk =
+      std::max<std::size_t>(1, options_.min_chunk_grains);
+  const bool pipelined =
+      options_.pipeline_depth > 1 && (end - begin) / min_chunk >= 2;
   while (true) {
     if (demoted()) return false;
-    switch (try_block(workload, begin, end, timing)) {
+    switch (pipelined ? try_pipelined(workload, begin, end, timing)
+                      : try_block(workload, begin, end, timing)) {
       case BlockOutcome::kOk:
         return true;
       case BlockOutcome::kFatal:

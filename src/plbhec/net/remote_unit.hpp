@@ -28,6 +28,10 @@
 #include "plbhec/rt/exec_unit.hpp"
 #include "plbhec/svc/profile_store.hpp"
 
+namespace plbhec::obs {
+class CounterRegistry;
+}  // namespace plbhec::obs
+
 namespace plbhec::net {
 
 struct RemoteUnitOptions {
@@ -50,6 +54,20 @@ struct RemoteUnitOptions {
   /// Unit id stamped on this link's events (the engine assigns ids in
   /// construction order, so the caller knows it).
   std::uint32_t event_unit = 0xffff'ffffu;
+  /// Data-plane pipelining: how many chunk frames the unit keeps in
+  /// flight on the data connection. 1 = the synchronous protocol (one
+  /// AssignBlock/BlockResult round-trip per engine block). N > 1 splits
+  /// every large enough block into up to 2N sequence-numbered chunks and
+  /// streams them through a windowed in-flight queue, so the wire time
+  /// of one chunk overlaps the daemon's kernel on another. Chunk results
+  /// are buffered and applied to the workload only once the whole block
+  /// completed — a failed block leaves the workload untouched and the
+  /// engine requeues the full range, exactly as in the sync protocol.
+  std::size_t pipeline_depth = 1;
+  /// Smallest chunk worth a frame of its own; blocks shorter than two
+  /// minimum chunks (probing blocks, tail blocks) always take the
+  /// synchronous path, keeping modeling-phase samples pipeline-free.
+  std::size_t min_chunk_grains = 4;
 };
 
 class RemoteUnit final : public rt::ExecUnit {
@@ -81,6 +99,24 @@ class RemoteUnit final : public rt::ExecUnit {
     return heartbeats_missed_.load();
   }
 
+  /// Wire/pipeline statistics accumulated across execute() calls.
+  /// Written by the engine worker thread that owns this unit during a
+  /// run; read them after the run ended (the engine's thread joins
+  /// establish the ordering).
+  struct WireStats {
+    std::uint64_t chunks_pipelined = 0;  ///< chunk frames sent windowed
+    std::uint64_t batched_results = 0;   ///< results arrived in batches
+    std::uint64_t inflight_peak = 0;     ///< max chunks in flight at once
+    double overlap_saved_seconds = 0.0;  ///< sum of transfer+exec-wall
+    double overlap_floor_seconds = 0.0;  ///< sum of min(transfer, exec)
+  };
+  [[nodiscard]] const WireStats& wire_stats() const { return wire_stats_; }
+  /// Measured overlap fraction in [0, 1]: the share of the smaller phase
+  /// (wire vs kernel) the pipeline hid. 0 under the sync protocol.
+  [[nodiscard]] double overlap_fraction() const;
+  /// Publishes this link's wire-health counters ("net.<name>.*").
+  void publish_counters(obs::CounterRegistry& registry) const;
+
  private:
   enum class BlockOutcome { kOk, kIoError, kFatal };
 
@@ -94,6 +130,11 @@ class RemoteUnit final : public rt::ExecUnit {
   [[nodiscard]] BlockOutcome try_block(rt::Workload& workload,
                                        std::size_t begin, std::size_t end,
                                        rt::BlockTiming& timing);
+  /// Windowed multi-chunk execution of one engine block (the pipelined
+  /// data plane); see RemoteUnitOptions::pipeline_depth.
+  [[nodiscard]] BlockOutcome try_pipelined(rt::Workload& workload,
+                                           std::size_t begin, std::size_t end,
+                                           rt::BlockTiming& timing);
   /// Bounded-backoff re-dial + re-BeginRun; false when exhausted.
   [[nodiscard]] bool reconnect();
   void heartbeat_loop();
@@ -101,6 +142,11 @@ class RemoteUnit final : public rt::ExecUnit {
   RemoteUnitOptions options_;
   std::string spec_;        ///< current run's workload spec
   std::uint64_t run_id_ = 0;
+  /// Monotonic frame sequence for the data plane; pipelined chunks are
+  /// matched to their (possibly out-of-order, possibly batched) results
+  /// by this number.
+  std::uint64_t next_sequence_ = 0;
+  WireStats wire_stats_;
 
   std::mutex conn_mutex_;   ///< guards data_conn_ replacement
   std::shared_ptr<TcpConn> data_conn_;

@@ -6,6 +6,7 @@
 #include <netinet/tcp.h>
 #include <poll.h>
 #include <sys/socket.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
 #include <cerrno>
@@ -96,6 +97,42 @@ bool TcpConn::send_all(const void* data, std::size_t size) {
     }
     if (n < 0 && errno == EINTR) continue;
     return false;
+  }
+  return true;
+}
+
+bool TcpConn::send_vectors(const iovec* iov, std::size_t count) {
+  // Mutable copy so partial progress can advance base/len without
+  // touching the caller's vectors. Frames are at most header + payload +
+  // trailer, so a small fixed array suffices.
+  constexpr std::size_t kMaxVectors = 8;
+  if (count > kMaxVectors) return false;
+  iovec local[kMaxVectors];
+  std::memcpy(local, iov, count * sizeof(iovec));
+
+  std::size_t first = 0;  // vectors fully transmitted so far
+  while (first < count) {
+    if (local[first].iov_len == 0) {
+      ++first;
+      continue;
+    }
+    if (cancelled()) return false;
+    msghdr msg{};
+    msg.msg_iov = local + first;
+    msg.msg_iovlen = count - first;
+    const ssize_t n = ::sendmsg(fd_, &msg, MSG_NOSIGNAL);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) return false;
+    std::size_t advanced = static_cast<std::size_t>(n);
+    while (first < count && advanced >= local[first].iov_len) {
+      advanced -= local[first].iov_len;
+      ++first;
+    }
+    if (first < count && advanced > 0) {
+      local[first].iov_base =
+          static_cast<std::uint8_t*>(local[first].iov_base) + advanced;
+      local[first].iov_len -= advanced;
+    }
   }
   return true;
 }

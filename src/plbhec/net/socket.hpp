@@ -8,9 +8,12 @@
 /// in-flight block without waiting for a kernel-level TCP timeout.
 
 #include <atomic>
+#include <cstddef>
 #include <cstdint>
 #include <memory>
 #include <string>
+
+struct iovec;  // <sys/uio.h>; forward-declared to keep this header light
 
 namespace plbhec::net {
 
@@ -31,6 +34,18 @@ class TcpConn {
 
   /// Sends exactly `size` bytes; false on error or cancellation.
   [[nodiscard]] bool send_all(const void* data, std::size_t size);
+
+  /// Scatter-gather send: transmits the concatenation of `iov[0..count)`
+  /// in order without first copying the pieces into one contiguous
+  /// buffer (the framed-write hot path relies on this to ship
+  /// header + payload + trailer as three vectors). Resumes across iovec
+  /// boundaries on short writes; false on error or cancellation.
+  [[nodiscard]] bool send_vectors(const iovec* iov, std::size_t count);
+
+  /// The raw socket fd (ownership stays with the connection). Exposed
+  /// for poll()-style readiness integration and for tests that shrink
+  /// kernel buffers to force partial send/recv progress.
+  [[nodiscard]] int native_handle() const { return fd_; }
 
   /// Receives exactly `size` bytes. `timeout_seconds` < 0 waits forever
   /// (until the peer closes or cancel()). False on EOF, error, timeout,

@@ -1,5 +1,8 @@
 #include "plbhec/net/wire.hpp"
 
+#include <sys/uio.h>
+
+#include <chrono>
 #include <cstring>
 
 #include "plbhec/common/codec.hpp"
@@ -10,6 +13,11 @@ namespace {
 using common::ByteReader;
 using common::ByteWriter;
 using common::fnv1a64;
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start, Clock::time_point stop) {
+  return std::chrono::duration<double>(stop - start).count();
+}
 
 constexpr char kMagic[8] = {'P', 'L', 'B', 'H', 'E', 'C', 'N', 'T'};
 constexpr std::size_t kMaxStringBytes = 4096;
@@ -29,6 +37,7 @@ const char* to_string(MsgType type) {
     case MsgType::kProfileSync: return "profile_sync";
     case MsgType::kProfileSyncAck: return "profile_sync_ack";
     case MsgType::kShutdown: return "shutdown";
+    case MsgType::kBlockResultBatch: return "block_result_batch";
   }
   return "unknown";
 }
@@ -90,15 +99,38 @@ FrameStatus decode_frame(std::span<const std::uint8_t> bytes, Frame* out,
 }
 
 bool write_frame(TcpConn& conn, MsgType type,
-                 std::span<const std::uint8_t> payload) {
-  const std::vector<std::uint8_t> frame = encode_frame(type, payload);
-  return conn.send_all(frame.data(), frame.size());
+                 std::span<const std::uint8_t> payload,
+                 FrameScratch& scratch) {
+  scratch.head.clear();
+  scratch.tail.clear();
+  ByteWriter head{scratch.head};
+  head.bytes(kMagic, sizeof(kMagic));
+  head.u32(kProtocolVersion);
+  head.u8(static_cast<std::uint8_t>(type));
+  head.u64(payload.size());
+  ByteWriter tail{scratch.tail};
+  tail.u64(fnv1a64(payload));
+
+  iovec iov[3];
+  iov[0] = {scratch.head.data(), scratch.head.size()};
+  iov[1] = {const_cast<std::uint8_t*>(payload.data()), payload.size()};
+  iov[2] = {scratch.tail.data(), scratch.tail.size()};
+  return conn.send_vectors(iov, 3);
 }
 
-FrameStatus read_frame(TcpConn& conn, Frame* out, double timeout_seconds) {
+bool write_frame(TcpConn& conn, MsgType type,
+                 std::span<const std::uint8_t> payload) {
+  FrameScratch scratch;
+  return write_frame(conn, type, payload, scratch);
+}
+
+FrameStatus read_frame(TcpConn& conn, Frame* out, double timeout_seconds,
+                       FrameReadTiming* timing) {
+  const Clock::time_point t0 = Clock::now();
   std::uint8_t header[kFrameHeaderBytes];
   if (!conn.recv_all(header, sizeof(header), timeout_seconds))
     return FrameStatus::kIoError;
+  const Clock::time_point t_header = Clock::now();
 
   ByteReader r{std::span<const std::uint8_t>(header, sizeof(header))};
   char magic[8] = {};
@@ -121,6 +153,11 @@ FrameStatus read_frame(TcpConn& conn, Frame* out, double timeout_seconds) {
     return FrameStatus::kIoError;
   if (checksum != fnv1a64(payload)) return FrameStatus::kBadChecksum;
 
+  if (timing != nullptr) {
+    const Clock::time_point t_done = Clock::now();
+    timing->wait_seconds = seconds_since(t0, t_header);
+    timing->drain_seconds = seconds_since(t_header, t_done);
+  }
   out->type = static_cast<MsgType>(type);
   out->payload = std::move(payload);
   return FrameStatus::kOk;
@@ -206,12 +243,17 @@ std::optional<RunAckMsg> RunAckMsg::decode(
 
 std::vector<std::uint8_t> AssignBlockMsg::encode() const {
   std::vector<std::uint8_t> out;
+  encode_into(out);
+  return out;
+}
+
+void AssignBlockMsg::encode_into(std::vector<std::uint8_t>& out) const {
+  out.clear();
   ByteWriter w{out};
   w.u64(run_id);
   w.u64(sequence);
   w.var_u64(begin);
   w.var_u64(end);
-  return out;
 }
 
 std::optional<AssignBlockMsg> AssignBlockMsg::decode(
@@ -228,6 +270,13 @@ std::optional<AssignBlockMsg> AssignBlockMsg::decode(
 
 std::vector<std::uint8_t> BlockResultMsg::encode() const {
   std::vector<std::uint8_t> out;
+  encode_into(out);
+  return out;
+}
+
+void BlockResultMsg::encode_into(std::vector<std::uint8_t>& out) const {
+  out.clear();
+  out.reserve(48 + error.size() + results.size());
   ByteWriter w{out};
   w.u64(run_id);
   w.u64(sequence);
@@ -238,7 +287,6 @@ std::vector<std::uint8_t> BlockResultMsg::encode() const {
   w.str(error);
   w.u64(results.size());
   w.bytes(results.data(), results.size());
-  return out;
 }
 
 std::optional<BlockResultMsg> BlockResultMsg::decode(
@@ -261,6 +309,45 @@ std::optional<BlockResultMsg> BlockResultMsg::decode(
                                                      result_len)));
   r.pos += static_cast<std::size_t>(result_len);
   if (r.remaining() != 0 || m.begin > m.end) return std::nullopt;
+  return m;
+}
+
+std::vector<std::uint8_t> BlockResultBatchMsg::encode() const {
+  std::vector<std::uint8_t> out;
+  encode_into(out);
+  return out;
+}
+
+void BlockResultBatchMsg::encode_into(std::vector<std::uint8_t>& out) const {
+  out.clear();
+  ByteWriter w{out};
+  w.var_u64(results.size());
+  std::vector<std::uint8_t> entry;  // capacity reused across entries
+  for (const BlockResultMsg& result : results) {
+    result.encode_into(entry);
+    w.u64(entry.size());
+    w.bytes(entry.data(), entry.size());
+  }
+}
+
+std::optional<BlockResultBatchMsg> BlockResultBatchMsg::decode(
+    std::span<const std::uint8_t> payload) {
+  ByteReader r{payload};
+  const std::uint64_t count = r.var_u64();
+  if (!r.ok || count == 0 || count > kMaxBatchedResults) return std::nullopt;
+  BlockResultBatchMsg m;
+  m.results.reserve(static_cast<std::size_t>(count));
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const std::uint64_t len = r.u64();
+    if (!r.ok || len > kMaxPayloadBytes || r.remaining() < len)
+      return std::nullopt;
+    std::optional<BlockResultMsg> entry = BlockResultMsg::decode(
+        payload.subspan(r.pos, static_cast<std::size_t>(len)));
+    if (!entry) return std::nullopt;
+    r.pos += static_cast<std::size_t>(len);
+    m.results.push_back(std::move(*entry));
+  }
+  if (r.remaining() != 0) return std::nullopt;
   return m;
 }
 

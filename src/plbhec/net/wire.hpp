@@ -27,7 +27,10 @@
 
 namespace plbhec::net {
 
-inline constexpr std::uint32_t kProtocolVersion = 1;
+/// v2 added kBlockResultBatch (coalesced small results from the daemon's
+/// pipelined sender). Framing rejects version skew outright, so both
+/// ends must upgrade together — acceptable for a research transport.
+inline constexpr std::uint32_t kProtocolVersion = 2;
 inline constexpr std::size_t kFrameHeaderBytes = 8 + 4 + 1 + 8;
 inline constexpr std::size_t kFrameTrailerBytes = 8;
 /// Caps a frame's payload; a block of 4096 matmul rows at n=4096 is
@@ -47,11 +50,12 @@ enum class MsgType : std::uint8_t {
   kProfileSync,      ///< coordinator -> daemon: merge this profile store
   kProfileSyncAck,   ///< daemon -> coordinator: daemon's store image back
   kShutdown,         ///< either side: close the connection cleanly
+  kBlockResultBatch, ///< daemon -> coordinator: several small results (v2)
 };
 
 /// Largest valid MsgType value (frame decoding rejects anything above).
 inline constexpr std::uint8_t kMaxMsgType =
-    static_cast<std::uint8_t>(MsgType::kShutdown);
+    static_cast<std::uint8_t>(MsgType::kBlockResultBatch);
 
 [[nodiscard]] const char* to_string(MsgType type);
 
@@ -81,15 +85,43 @@ struct Frame {
 [[nodiscard]] FrameStatus decode_frame(std::span<const std::uint8_t> bytes,
                                        Frame* out, std::size_t* consumed);
 
-/// Writes one frame to the connection; false on I/O error.
+/// Reusable per-connection serialization buffers for the framed-write
+/// hot path: the 21-byte header and 8-byte checksum trailer are built in
+/// place and shipped with the payload as three scatter-gather vectors,
+/// so a steady stream of frames performs no per-frame allocation and
+/// never copies the payload into a contiguous staging buffer.
+struct FrameScratch {
+  std::vector<std::uint8_t> head;
+  std::vector<std::uint8_t> tail;
+};
+
+/// Writes one frame to the connection; false on I/O error. The scratch
+/// overload is the zero-copy path (see FrameScratch); the plain overload
+/// keeps a local scratch and is fine off the hot path.
+[[nodiscard]] bool write_frame(TcpConn& conn, MsgType type,
+                               std::span<const std::uint8_t> payload,
+                               FrameScratch& scratch);
 [[nodiscard]] bool write_frame(TcpConn& conn, MsgType type,
                                std::span<const std::uint8_t> payload);
 
+/// Wall-clock decomposition of one read_frame call, separating "waiting
+/// for the frame to exist" from "moving its bytes". `wait_seconds`
+/// covers the 21-byte header (dominated by idle/queueing time),
+/// `drain_seconds` the payload + trailer (dominated by the bandwidth
+/// term of G_p). The pipelined coordinator samples drain time as its
+/// per-chunk wire cost so queue waits never contaminate the G_p fit.
+struct FrameReadTiming {
+  double wait_seconds = 0.0;
+  double drain_seconds = 0.0;
+};
+
 /// Reads one frame. `timeout_seconds` bounds the wait for the *header*;
 /// once a header arrives the payload read gets the same bound again
-/// (< 0 = wait forever).
+/// (< 0 = wait forever). `timing`, when non-null, receives the
+/// wait/drain split for this frame.
 [[nodiscard]] FrameStatus read_frame(TcpConn& conn, Frame* out,
-                                     double timeout_seconds = -1.0);
+                                     double timeout_seconds = -1.0,
+                                     FrameReadTiming* timing = nullptr);
 
 // --- Message bodies -------------------------------------------------------
 // Each struct encodes with encode() and decodes with the static decode(),
@@ -135,6 +167,8 @@ struct AssignBlockMsg {
   std::uint64_t begin = 0;
   std::uint64_t end = 0;
   [[nodiscard]] std::vector<std::uint8_t> encode() const;
+  /// Hot-path encode into a caller-owned reusable buffer (cleared first).
+  void encode_into(std::vector<std::uint8_t>& out) const;
   [[nodiscard]] static std::optional<AssignBlockMsg> decode(
       std::span<const std::uint8_t> payload);
 };
@@ -149,9 +183,30 @@ struct BlockResultMsg {
   std::string error;
   std::vector<std::uint8_t> results;  ///< Workload::write_results bytes
   [[nodiscard]] std::vector<std::uint8_t> encode() const;
+  /// Hot-path encode into a caller-owned reusable buffer (cleared first).
+  void encode_into(std::vector<std::uint8_t>& out) const;
   [[nodiscard]] static std::optional<BlockResultMsg> decode(
       std::span<const std::uint8_t> payload);
 };
+
+/// Several small BlockResults coalesced into one kBlockResultBatch frame:
+/// the daemon's sender drains its outbox into a batch so the fixed
+/// header/checksum/syscall cost amortizes across pipelined chunk
+/// results. Each entry is an individually encoded BlockResultMsg body,
+/// length-prefixed so decode slices without resynchronizing.
+struct BlockResultBatchMsg {
+  std::vector<BlockResultMsg> results;
+  [[nodiscard]] std::vector<std::uint8_t> encode() const;
+  void encode_into(std::vector<std::uint8_t>& out) const;
+  [[nodiscard]] static std::optional<BlockResultBatchMsg> decode(
+      std::span<const std::uint8_t> payload);
+};
+
+/// Batch size cap (decode rejects larger counts before allocating).
+inline constexpr std::size_t kMaxBatchedResults = 256;
+/// Results at most this large are eligible for batching; anything bigger
+/// ships alone so one slow frame never delays a window of small acks.
+inline constexpr std::size_t kBatchableResultBytes = 4096;
 
 struct HeartbeatMsg {
   std::uint64_t sequence = 0;

@@ -1,6 +1,9 @@
 #include "plbhec/net/workerd.hpp"
 
 #include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <optional>
 
 #include "plbhec/apps/registry.hpp"
 #include "plbhec/common/contracts.hpp"
@@ -23,6 +26,29 @@ void stretch(Clock::time_point start, double measured_s, double factor) {
 }
 
 }  // namespace
+
+/// Per-connection pipeline state shared by the reader (serve), the
+/// executor and the sender. The reader only pushes, the executor moves
+/// tasks to results, the sender only pops — nobody but the reader
+/// touches the socket's receive side and nobody but the sender its send
+/// side.
+struct WorkerDaemon::ConnPipeline {
+  /// One frame awaiting the wire: either a pre-encoded control payload
+  /// or a block result (kept structured so the sender can batch).
+  struct Outgoing {
+    MsgType type = MsgType::kShutdown;
+    std::vector<std::uint8_t> payload;
+    std::optional<BlockResultMsg> result;
+  };
+
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::deque<AssignBlockMsg> tasks;
+  std::deque<Outgoing> outbox;
+  std::shared_ptr<rt::Workload> workload;
+  std::uint64_t run_id = 0;
+  bool closing = false;
+};
 
 WorkerDaemon::WorkerDaemon(WorkerDaemonOptions options)
     : options_(std::move(options)) {
@@ -84,96 +110,105 @@ void WorkerDaemon::accept_loop() {
 }
 
 void WorkerDaemon::serve(TcpConn& conn) {
-  std::unique_ptr<rt::Workload> workload;
-  std::uint64_t run_id = 0;
-  std::vector<std::uint8_t> result_buf;
+  ConnPipeline pipe;
+  std::thread executor([this, &pipe] { execute_loop(pipe); });
+  std::thread sender([this, &conn, &pipe] { send_loop(conn, pipe); });
 
-  while (!stopping_.load(std::memory_order_acquire)) {
+  const auto enqueue = [&pipe](MsgType type,
+                               std::vector<std::uint8_t> payload) {
+    {
+      std::lock_guard lock(pipe.mutex);
+      pipe.outbox.push_back({type, std::move(payload), std::nullopt});
+    }
+    pipe.cv.notify_all();
+  };
+
+  bool alive = true;
+  while (alive && !stopping_.load(std::memory_order_acquire)) {
     if (frozen_.load(std::memory_order_acquire)) {
-      // Hung-process simulation: stay connected, answer nothing.
+      // Hung-process simulation: stay connected, answer nothing (the
+      // executor and sender freeze on the same flag).
       std::this_thread::sleep_for(std::chrono::milliseconds(5));
       continue;
     }
     if (!conn.readable(0.25)) {
-      if (conn.cancelled()) return;
+      if (conn.cancelled()) break;
       continue;  // idle; re-check stop/freeze flags
     }
 
     Frame frame;
-    if (read_frame(conn, &frame) != FrameStatus::kOk) return;
+    if (read_frame(conn, &frame) != FrameStatus::kOk) break;
 
     switch (frame.type) {
       case MsgType::kHello: {
         const auto msg = HelloMsg::decode(frame.payload);
-        if (!msg) return;
+        if (!msg) {
+          alive = false;
+          break;
+        }
         HelloAckMsg ack;
         ack.daemon = options_.name;
         ack.concurrency = static_cast<std::uint32_t>(
             exec::ThreadPool::global().concurrency());
-        if (!write_frame(conn, MsgType::kHelloAck, ack.encode())) return;
+        enqueue(MsgType::kHelloAck, ack.encode());
         break;
       }
       case MsgType::kBeginRun: {
         const auto msg = BeginRunMsg::decode(frame.payload);
-        if (!msg) return;
+        if (!msg) {
+          alive = false;
+          break;
+        }
         RunAckMsg ack;
         ack.run_id = msg->run_id;
         std::string error;
-        workload = apps::make_workload(msg->spec, &error);
+        std::shared_ptr<rt::Workload> workload =
+            apps::make_workload(msg->spec, &error);
         if (workload != nullptr && !workload->supports_remote_execution()) {
           workload.reset();
           error = "workload does not support remote execution";
         }
         ack.ok = workload != nullptr;
         ack.error = error;
-        run_id = msg->run_id;
-        if (!write_frame(conn, MsgType::kRunAck, ack.encode())) return;
+        {
+          std::lock_guard lock(pipe.mutex);
+          pipe.workload = std::move(workload);
+          pipe.run_id = msg->run_id;
+          pipe.tasks.clear();  // stale blocks from a superseded run
+        }
+        enqueue(MsgType::kRunAck, ack.encode());
         break;
       }
       case MsgType::kAssignBlock: {
         const auto msg = AssignBlockMsg::decode(frame.payload);
-        if (!msg) return;
-        BlockResultMsg result;
-        result.run_id = msg->run_id;
-        result.sequence = msg->sequence;
-        result.begin = msg->begin;
-        result.end = msg->end;
-        if (workload == nullptr || msg->run_id != run_id) {
-          result.error = "no active run for this block";
-        } else if (msg->end > workload->total_grains() ||
-                   msg->begin >= msg->end) {
-          result.error = "block range out of bounds";
-        } else {
-          const auto begin = static_cast<std::size_t>(msg->begin);
-          const auto end = static_cast<std::size_t>(msg->end);
-          const Clock::time_point t_exec = Clock::now();
-          workload->execute_cpu(begin, end);
-          const double measured =
-              std::chrono::duration<double>(Clock::now() - t_exec).count();
-          stretch(t_exec, measured, options_.slowdown);
-          result.exec_seconds =
-              std::chrono::duration<double>(Clock::now() - t_exec).count();
-          result_buf.resize(workload->result_bytes(begin, end));
-          workload->write_results(begin, end, result_buf.data());
-          result.results = result_buf;
-          result.ok = true;
-          blocks_served_.fetch_add(1);
+        if (!msg) {
+          alive = false;
+          break;
         }
-        if (!write_frame(conn, MsgType::kBlockResult, result.encode()))
-          return;
+        {
+          std::lock_guard lock(pipe.mutex);
+          pipe.tasks.push_back(*msg);
+        }
+        pipe.cv.notify_all();
         break;
       }
       case MsgType::kHeartbeat: {
         const auto msg = HeartbeatMsg::decode(frame.payload);
-        if (!msg) return;
+        if (!msg) {
+          alive = false;
+          break;
+        }
         HeartbeatAckMsg ack;
         ack.sequence = msg->sequence;
-        if (!write_frame(conn, MsgType::kHeartbeatAck, ack.encode())) return;
+        enqueue(MsgType::kHeartbeatAck, ack.encode());
         break;
       }
       case MsgType::kProfileSync: {
         const auto msg = ProfileSyncMsg::decode(frame.payload);
-        if (!msg) return;
+        if (!msg) {
+          alive = false;
+          break;
+        }
         ProfileSyncMsg ack;
         {
           std::lock_guard lock(mutex_);
@@ -185,15 +220,127 @@ void WorkerDaemon::serve(TcpConn& conn) {
             profiles_.merge(incoming);
           ack.store_image = profiles_.encode();
         }
-        if (!write_frame(conn, MsgType::kProfileSyncAck, ack.encode()))
-          return;
+        enqueue(MsgType::kProfileSyncAck, ack.encode());
         break;
       }
       case MsgType::kShutdown:
-        return;
-      default:
-        return;  // protocol violation poisons the connection
+      default:  // protocol violation poisons the connection
+        alive = false;
+        break;
     }
+  }
+
+  // Teardown: the executor exits first (it may push one final result),
+  // then the sender drains whatever is left and exits.
+  {
+    std::lock_guard lock(pipe.mutex);
+    pipe.closing = true;
+  }
+  pipe.cv.notify_all();
+  executor.join();
+  pipe.cv.notify_all();
+  sender.join();
+}
+
+void WorkerDaemon::execute_loop(ConnPipeline& pipe) {
+  std::unique_lock lock(pipe.mutex);
+  while (true) {
+    pipe.cv.wait(lock, [&] { return pipe.closing || !pipe.tasks.empty(); });
+    if (pipe.closing) return;
+    while (frozen_.load(std::memory_order_acquire) && !pipe.closing)
+      pipe.cv.wait_for(lock, std::chrono::milliseconds(5));
+    if (pipe.closing) return;
+    if (pipe.tasks.empty()) continue;
+    const AssignBlockMsg msg = pipe.tasks.front();
+    pipe.tasks.pop_front();
+    std::shared_ptr<rt::Workload> workload = pipe.workload;
+    const std::uint64_t run_id = pipe.run_id;
+    lock.unlock();
+
+    BlockResultMsg result;
+    result.run_id = msg.run_id;
+    result.sequence = msg.sequence;
+    result.begin = msg.begin;
+    result.end = msg.end;
+    if (workload == nullptr || msg.run_id != run_id) {
+      result.error = "no active run for this block";
+    } else if (msg.end > workload->total_grains() || msg.begin >= msg.end) {
+      result.error = "block range out of bounds";
+    } else {
+      const auto begin = static_cast<std::size_t>(msg.begin);
+      const auto end = static_cast<std::size_t>(msg.end);
+      const Clock::time_point t_exec = Clock::now();
+      workload->execute_cpu(begin, end);
+      const double measured =
+          std::chrono::duration<double>(Clock::now() - t_exec).count();
+      stretch(t_exec, measured, options_.slowdown);
+      result.exec_seconds =
+          std::chrono::duration<double>(Clock::now() - t_exec).count();
+      result.results.resize(workload->result_bytes(begin, end));
+      workload->write_results(begin, end, result.results.data());
+      result.ok = true;
+      blocks_served_.fetch_add(1);
+    }
+
+    lock.lock();
+    pipe.outbox.push_back(
+        {MsgType::kBlockResult, {}, std::move(result)});
+    pipe.cv.notify_all();
+  }
+}
+
+void WorkerDaemon::send_loop(TcpConn& conn, ConnPipeline& pipe) {
+  FrameScratch scratch;
+  std::vector<std::uint8_t> body;  // reused encode buffer
+  std::unique_lock lock(pipe.mutex);
+  while (true) {
+    pipe.cv.wait(lock, [&] { return pipe.closing || !pipe.outbox.empty(); });
+    if (pipe.outbox.empty()) return;  // closing and fully drained
+    while (frozen_.load(std::memory_order_acquire) && !pipe.closing)
+      pipe.cv.wait_for(lock, std::chrono::milliseconds(5));
+    if (pipe.outbox.empty()) continue;
+    ConnPipeline::Outgoing out = std::move(pipe.outbox.front());
+    pipe.outbox.pop_front();
+
+    if (!out.result) {
+      lock.unlock();
+      if (!write_frame(conn, out.type, out.payload, scratch)) {
+        conn.cancel();  // wake the reader so the connection tears down
+        return;
+      }
+      lock.lock();
+      continue;
+    }
+
+    // Coalesce a run of small results queued behind this one into one
+    // batch frame; a large result always ships alone so a heavy payload
+    // never delays a window of small acks.
+    BlockResultBatchMsg batch;
+    const bool small = out.result->results.size() <= kBatchableResultBytes;
+    batch.results.push_back(std::move(*out.result));
+    while (small && batch.results.size() < kMaxBatchedResults &&
+           !pipe.outbox.empty() && pipe.outbox.front().result &&
+           pipe.outbox.front().result->results.size() <=
+               kBatchableResultBytes) {
+      batch.results.push_back(std::move(*pipe.outbox.front().result));
+      pipe.outbox.pop_front();
+    }
+    lock.unlock();
+
+    bool sent = false;
+    if (batch.results.size() == 1) {
+      batch.results.front().encode_into(body);
+      sent = write_frame(conn, MsgType::kBlockResult, body, scratch);
+    } else {
+      batch.encode_into(body);
+      sent = write_frame(conn, MsgType::kBlockResultBatch, body, scratch);
+      results_batched_.fetch_add(batch.results.size());
+    }
+    if (!sent) {
+      conn.cancel();
+      return;
+    }
+    lock.lock();
   }
 }
 

@@ -3,9 +3,15 @@
 /// The worker daemon: listens for coordinator connections and executes
 /// assigned blocks of a workload rebuilt locally from its remote_spec()
 /// string (apps/registry.hpp), shipping result bytes and kernel timings
-/// back. Every accepted connection is served by its own thread with its
-/// own workload instance, so one daemon process can host several remote
-/// units (and independent heartbeat links) concurrently — the kernels
+/// back. Every accepted connection is served by a three-thread pipeline —
+/// a reader that decodes frames, an executor that runs kernels off a task
+/// queue, and a sender that drains an outbox (batching small results into
+/// one frame) — so the socket is never stalled by a running kernel and a
+/// window of AssignBlocks can queue up while one executes. The reader
+/// never writes and the sender never reads, preserving TcpConn's
+/// one-reader/one-writer thread model. Each connection keeps its own
+/// workload instance, so one daemon process can host several remote units
+/// (and independent heartbeat links) concurrently — the kernels
 /// themselves fan out over the process-wide exec::ThreadPool exactly as
 /// local execution does.
 ///
@@ -71,10 +77,19 @@ class WorkerDaemon {
   [[nodiscard]] std::uint64_t connections_accepted() const {
     return connections_accepted_.load();
   }
+  /// Block results the per-connection sender coalesced into
+  /// kBlockResultBatch frames (0 when every result shipped alone).
+  [[nodiscard]] std::uint64_t results_batched() const {
+    return results_batched_.load();
+  }
 
  private:
+  struct ConnPipeline;
+
   void accept_loop();
   void serve(TcpConn& conn);
+  void execute_loop(ConnPipeline& pipe);
+  void send_loop(TcpConn& conn, ConnPipeline& pipe);
 
   WorkerDaemonOptions options_;
   std::unique_ptr<TcpListener> listener_;
@@ -83,6 +98,7 @@ class WorkerDaemon {
   std::atomic<bool> frozen_{false};
   std::atomic<std::uint64_t> blocks_served_{0};
   std::atomic<std::uint64_t> connections_accepted_{0};
+  std::atomic<std::uint64_t> results_batched_{0};
 
   mutable std::mutex mutex_;  ///< guards conns_, threads_, profiles_
   std::vector<std::unique_ptr<TcpConn>> conns_;  ///< live until stop()

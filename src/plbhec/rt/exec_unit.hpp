@@ -21,6 +21,12 @@ namespace plbhec::rt {
 struct BlockTiming {
   double transfer_seconds = 0.0;  ///< staging memcpy or network wire time
   double exec_seconds = 0.0;      ///< kernel time on the executing host
+  /// End-to-end wall time of the block when the unit overlapped transfer
+  /// with execution (a pipelined remote unit reports wall <
+  /// transfer + exec). 0 means the phases ran serially and wall is
+  /// transfer + exec. The engine clips trace segments with it; schedulers
+  /// read the overlap off the observation's start/finish span.
+  double wall_seconds = 0.0;
 };
 
 class ExecUnit {

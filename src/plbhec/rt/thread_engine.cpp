@@ -1,5 +1,6 @@
 #include "plbhec/rt/thread_engine.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <deque>
 
@@ -250,13 +251,20 @@ RunResult ThreadEngine::run(Workload& workload, Scheduler& scheduler) {
       stats.exec_seconds += timing.exec_seconds;
       stats.grains += grains;
       stats.tasks += 1;
-      result.trace.add({unit, SegmentKind::kTransfer, issue_time,
-                        issue_time + timing.transfer_seconds, grains});
-      result.trace.add({unit, SegmentKind::kExec,
-                        issue_time + timing.transfer_seconds,
-                        issue_time + timing.transfer_seconds +
-                            timing.exec_seconds,
+      // Serial layout by default; a pipelined unit reports a shorter
+      // wall time than transfer + exec, and laying the phases end to end
+      // would overrun the block's real span — clip to the wall and show
+      // the kernel tail at the true finish instead.
+      double t_split = issue_time + timing.transfer_seconds;
+      double t_end = t_split + timing.exec_seconds;
+      if (timing.wall_seconds > 0.0 &&
+          timing.wall_seconds < timing.transfer_seconds + timing.exec_seconds) {
+        t_end = issue_time + timing.wall_seconds;
+        t_split = std::max(issue_time, t_end - timing.exec_seconds);
+      }
+      result.trace.add({unit, SegmentKind::kTransfer, issue_time, t_split,
                         grains});
+      result.trace.add({unit, SegmentKind::kExec, t_split, t_end, grains});
 
       TaskObservation obs;
       obs.unit = unit;

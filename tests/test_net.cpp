@@ -3,10 +3,16 @@
 // version / type / checksum corruption, random-byte fuzz), daemon <->
 // coordinator loopback round-trips with bit-identical results vs
 // in-process execution, profile sync, heartbeat-timeout demotion with
-// zero lost grains, reconnect after a daemon restart, and the engine's
-// detach_unit contract (including its death conditions).
+// zero lost grains, reconnect after a daemon restart, the engine's
+// detach_unit contract (including its death conditions), and the
+// pipelined data plane: chunked blocks bit-identical to sync, out-of-
+// order and batched result frames, all-or-nothing application on chunk
+// failure, mid-pipeline freeze with zero lost grains, partial send/recv
+// through shrunken kernel socket buffers, and the batch codec's bounds.
 
 #include <gtest/gtest.h>
+
+#include <sys/socket.h>
 
 #include <atomic>
 #include <chrono>
@@ -22,6 +28,7 @@
 #include "plbhec/apps/synthetic.hpp"
 #include "plbhec/common/codec.hpp"
 #include "plbhec/core/plb_hec.hpp"
+#include "plbhec/obs/counters.hpp"
 #include "plbhec/net/remote_unit.hpp"
 #include "plbhec/net/socket.hpp"
 #include "plbhec/net/wire.hpp"
@@ -472,6 +479,402 @@ TEST(Failure, ReconnectAfterDaemonRestartResumesService) {
   apps::MatMulWorkload local(64, /*materialize=*/true);
   local.execute_cpu(0, 64);
   EXPECT_EQ(workload.result(), local.result());
+}
+
+// ---- Pipelined data plane -------------------------------------------------
+
+RemoteUnitOptions pipelined_options(std::uint16_t port, std::size_t depth) {
+  RemoteUnitOptions ro = steady_options(port);
+  ro.pipeline_depth = depth;
+  return ro;
+}
+
+TEST(Pipeline, ChunkedMatMulIsBitIdenticalToLocal) {
+  constexpr std::size_t kN = 128;
+  WorkerDaemon daemon({0, "wd", 1.0});
+
+  apps::MatMulWorkload via_wire(kN, /*materialize=*/true);
+  RemoteUnit unit(pipelined_options(daemon.port(), 4));
+  ASSERT_TRUE(unit.begin_run(via_wire));
+  rt::BlockTiming timing;
+  ASSERT_TRUE(unit.execute(via_wire, 0, kN, timing));
+  unit.end_run();
+
+  // One engine block of 128 rows became a window of sequence-numbered
+  // chunks (depth 4 -> up to 8), and the result rows are bit-identical
+  // to a local run: matmul rows don't depend on block decomposition.
+  EXPECT_GT(unit.wire_stats().chunks_pipelined, 1u);
+  EXPECT_GT(unit.wire_stats().inflight_peak, 1u);
+  EXPECT_GT(timing.wall_seconds, 0.0);
+  EXPECT_LE(timing.wall_seconds,
+            timing.transfer_seconds + timing.exec_seconds + 1.0);
+  apps::MatMulWorkload local(kN, /*materialize=*/true);
+  local.execute_cpu(0, kN);
+  EXPECT_EQ(via_wire.result(), local.result());
+  EXPECT_EQ(daemon.blocks_served(), unit.wire_stats().chunks_pipelined);
+}
+
+// The fake-server tests drive a RemoteUnit against a scripted peer, so
+// frame ordering is fully controlled. Both share this setup: 24 grains /
+// min_chunk 4 with a window deeper than the chunk count puts all 6
+// chunks in flight before the first reply.
+struct FakeServerRig {
+  std::unique_ptr<TcpListener> listener = TcpListener::bind_loopback(0);
+  apps::SyntheticWorkload::Config cfg;
+  FakeServerRig() {
+    cfg.grains = 24;
+    cfg.spin_iters_per_grain = 50;
+    cfg.result_payload_per_grain = 8;
+  }
+  [[nodiscard]] RemoteUnitOptions unit_options() const {
+    RemoteUnitOptions ro = steady_options(listener->port());
+    ro.pipeline_depth = 8;
+    ro.min_chunk_grains = 4;
+    ro.max_reconnect_attempts = 1;
+    ro.backoff_initial_seconds = 0.01;
+    return ro;
+  }
+  // Accepts the data connection, answers Hello and BeginRun, reads the
+  // whole chunk window, then hands the assignments (and a result
+  // factory) to `reply`. Returns false on any protocol surprise.
+  template <typename Reply>
+  [[nodiscard]] bool serve_one_window(Reply reply) {
+    std::unique_ptr<TcpConn> conn = listener->accept(5.0);
+    if (conn == nullptr) return false;
+    Frame f;
+    if (read_frame(*conn, &f, 5.0) != FrameStatus::kOk ||
+        f.type != MsgType::kHello)
+      return false;
+    HelloAckMsg hello_ack;
+    hello_ack.daemon = "fake";
+    if (!write_frame(*conn, MsgType::kHelloAck, hello_ack.encode()))
+      return false;
+    if (read_frame(*conn, &f, 5.0) != FrameStatus::kOk ||
+        f.type != MsgType::kBeginRun)
+      return false;
+    const auto begin = BeginRunMsg::decode(f.payload);
+    if (!begin) return false;
+    std::string error;
+    std::unique_ptr<rt::Workload> workload =
+        apps::make_workload(begin->spec, &error);
+    if (workload == nullptr) return false;
+    RunAckMsg run_ack;
+    run_ack.run_id = begin->run_id;
+    run_ack.ok = true;
+    if (!write_frame(*conn, MsgType::kRunAck, run_ack.encode())) return false;
+
+    std::vector<AssignBlockMsg> assigns;
+    while (assigns.size() < 6) {
+      if (read_frame(*conn, &f, 5.0) != FrameStatus::kOk) return false;
+      if (f.type != MsgType::kAssignBlock) return false;
+      const auto assign = AssignBlockMsg::decode(f.payload);
+      if (!assign) return false;
+      assigns.push_back(*assign);
+    }
+    const auto make_result = [&](const AssignBlockMsg& a) {
+      BlockResultMsg r;
+      r.run_id = a.run_id;
+      r.sequence = a.sequence;
+      r.begin = a.begin;
+      r.end = a.end;
+      r.exec_seconds = 0.001;
+      r.ok = true;
+      r.results.resize(workload->result_bytes(
+          static_cast<std::size_t>(a.begin), static_cast<std::size_t>(a.end)));
+      workload->write_results(static_cast<std::size_t>(a.begin),
+                              static_cast<std::size_t>(a.end),
+                              r.results.data());
+      return r;
+    };
+    if (!reply(*conn, assigns, make_result)) return false;
+    // Drain until the coordinator's Shutdown (or the link drops).
+    (void)read_frame(*conn, &f, 1.0);
+    return true;
+  }
+};
+
+TEST(Pipeline, OutOfOrderAndBatchedResultsAreAccepted) {
+  FakeServerRig rig;
+  ASSERT_NE(rig.listener, nullptr);
+  apps::SyntheticWorkload coordinator_side(rig.cfg);
+
+  std::atomic<bool> served{false};
+  std::thread server([&] {
+    served = rig.serve_one_window([&](TcpConn& conn, const auto& assigns,
+                                      const auto& make_result) {
+      // Two singles out of order, then one batch holding the remaining
+      // four in reverse: every interleaving must land by sequence.
+      if (!write_frame(conn, MsgType::kBlockResult,
+                       make_result(assigns[5]).encode()))
+        return false;
+      if (!write_frame(conn, MsgType::kBlockResult,
+                       make_result(assigns[2]).encode()))
+        return false;
+      BlockResultBatchMsg batch;
+      for (int i : {4, 3, 1, 0}) batch.results.push_back(make_result(assigns[i]));
+      return write_frame(conn, MsgType::kBlockResultBatch, batch.encode());
+    });
+  });
+
+  RemoteUnit unit(rig.unit_options());
+  ASSERT_TRUE(unit.begin_run(coordinator_side));
+  rt::BlockTiming timing;
+  ASSERT_TRUE(unit.execute(coordinator_side, 0, rig.cfg.grains, timing));
+  unit.end_run();
+  server.join();
+  EXPECT_TRUE(served.load());
+
+  EXPECT_EQ(coordinator_side.executed_grains(), rig.cfg.grains);
+  EXPECT_EQ(unit.wire_stats().chunks_pipelined, 6u);
+  EXPECT_EQ(unit.wire_stats().batched_results, 4u);
+  EXPECT_EQ(unit.wire_stats().inflight_peak, 6u);
+  apps::SyntheticWorkload local(rig.cfg);
+  local.execute_cpu(0, rig.cfg.grains);
+  EXPECT_NEAR(coordinator_side.checksum(), local.checksum(), 1e-9);
+}
+
+TEST(Pipeline, FailedChunkLeavesWorkloadUntouched) {
+  FakeServerRig rig;
+  ASSERT_NE(rig.listener, nullptr);
+  apps::SyntheticWorkload coordinator_side(rig.cfg);
+
+  std::atomic<bool> served{false};
+  std::thread server([&] {
+    served = rig.serve_one_window([&](TcpConn& conn, const auto& assigns,
+                                      const auto& make_result) {
+      // One good chunk, then a refusal: the already-buffered good chunk
+      // must never reach the workload.
+      if (!write_frame(conn, MsgType::kBlockResult,
+                       make_result(assigns[0]).encode()))
+        return false;
+      BlockResultMsg bad = make_result(assigns[1]);
+      bad.ok = false;
+      bad.error = "injected refusal";
+      bad.results.clear();
+      return write_frame(conn, MsgType::kBlockResult, bad.encode());
+    });
+  });
+
+  RemoteUnit unit(rig.unit_options());
+  ASSERT_TRUE(unit.begin_run(coordinator_side));
+  rt::BlockTiming timing;
+  EXPECT_FALSE(unit.execute(coordinator_side, 0, rig.cfg.grains, timing));
+  EXPECT_TRUE(unit.demoted());
+  unit.end_run();
+  server.join();
+  EXPECT_TRUE(served.load());
+
+  // All-or-nothing: a failed window applied nothing, so the engine can
+  // requeue the whole range on another unit without double execution.
+  EXPECT_EQ(coordinator_side.executed_grains(), 0u);
+  EXPECT_EQ(coordinator_side.checksum(), 0.0);
+}
+
+TEST(Pipeline, FrozenDaemonMidPipelineLosesZeroGrains) {
+  constexpr std::size_t kGrains = 10'000;
+  WorkerDaemon healthy({0, "wd-ok", 1.0});
+  WorkerDaemon doomed({0, "wd-doomed", 1.0});
+
+  std::vector<std::unique_ptr<rt::ExecUnit>> units;
+  units.push_back(std::make_unique<rt::LocalExecUnit>(
+      rt::LocalExecUnit::Options{"local0", 1.0, true}));
+  units.push_back(
+      std::make_unique<RemoteUnit>(pipelined_options(healthy.port(), 4)));
+  RemoteUnitOptions doomed_ro = fast_options(doomed.port());
+  doomed_ro.pipeline_depth = 4;
+  auto doomed_unit = std::make_unique<RemoteUnit>(doomed_ro);
+  RemoteUnit* doomed_ptr = doomed_unit.get();
+  units.push_back(std::move(doomed_unit));
+
+  rt::ThreadEngineOptions eopts;
+  rt::ThreadEngine engine(eopts, std::move(units));
+  apps::SyntheticWorkload workload(
+      apps::SyntheticWorkload::Config{kGrains, 1e6, 64.0, 16.0, 2.0, 0.97,
+                                      0.5, 0.5, 6'000});
+
+  // Freeze the doomed daemon with a chunk window in flight: the
+  // heartbeat demotion must cancel the stalled window and the engine
+  // requeue the whole block — the buffered partial results must not
+  // leak into the workload.
+  std::thread killer([&] {
+    wait_for_first_block(doomed);
+    doomed.freeze();
+  });
+  core::PlbHecScheduler plb;
+  const rt::RunResult r = engine.run(workload, plb);
+  killer.join();
+  doomed.unfreeze();
+
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(workload.executed_grains(), kGrains);
+  EXPECT_TRUE(doomed_ptr->demoted());
+  EXPECT_TRUE(r.unit_stats[2].failed);
+  doomed.stop();
+}
+
+TEST(Pipeline, EngineRunPublishesWireAndOverlapCounters) {
+  constexpr std::size_t kGrains = 4'000;
+  WorkerDaemon d1({0, "wd1", 1.0});
+  WorkerDaemon d2({0, "wd2", 1.0});
+
+  RemoteUnitOptions ro1 = pipelined_options(d1.port(), 4);
+  ro1.name = "wd1";
+  RemoteUnitOptions ro2 = pipelined_options(d2.port(), 4);
+  ro2.name = "wd2";
+  auto u1 = std::make_unique<RemoteUnit>(ro1);
+  auto u2 = std::make_unique<RemoteUnit>(ro2);
+  RemoteUnit* p1 = u1.get();
+  RemoteUnit* p2 = u2.get();
+  std::vector<std::unique_ptr<rt::ExecUnit>> units;
+  units.push_back(std::move(u1));
+  units.push_back(std::move(u2));
+
+  rt::ThreadEngineOptions eopts;
+  rt::ThreadEngine engine(eopts, std::move(units));
+  apps::SyntheticWorkload::Config cfg;
+  cfg.grains = kGrains;
+  cfg.spin_iters_per_grain = 400;
+  cfg.result_payload_per_grain = 64;
+  apps::SyntheticWorkload workload(cfg);
+  core::PlbHecScheduler plb;
+  const rt::RunResult r = engine.run(workload, plb);
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(workload.executed_grains(), kGrains);
+
+  // Execution-phase blocks are large enough to chunk, so the pipeline
+  // must have engaged on at least one unit...
+  EXPECT_GT(p1->wire_stats().chunks_pipelined +
+                p2->wire_stats().chunks_pipelined,
+            0u);
+  for (const RemoteUnit* p : {p1, p2}) {
+    EXPECT_GE(p->overlap_fraction(), 0.0);
+    EXPECT_LE(p->overlap_fraction(), 1.0);
+  }
+  // ...the scheduler tracked a per-unit overlap EWMA...
+  ASSERT_EQ(plb.overlap_estimates().size(), 2u);
+  for (double rho : plb.overlap_estimates()) {
+    EXPECT_GE(rho, 0.0);
+    EXPECT_LE(rho, 1.0);
+  }
+  // ...and both the unit wire stats and the fitted transfer models
+  // publish into one registry for run summaries.
+  obs::CounterRegistry reg;
+  p1->publish_counters(reg);
+  p2->publish_counters(reg);
+  core::publish_transfer_models(reg, plb.models());
+  EXPECT_EQ(reg.value("net.wd1.chunks_pipelined"),
+            p1->wire_stats().chunks_pipelined);
+  EXPECT_EQ(reg.value("net.wd2.chunks_pipelined"),
+            p2->wire_stats().chunks_pipelined);
+  std::size_t model_keys = 0;
+  for (const auto& [name, value] : reg.snapshot())
+    if (name.rfind("plbhec.unit", 0) == 0) ++model_keys;
+  EXPECT_GE(model_keys, 2u * 4u);  // slope, latency, r2, overlap per unit
+}
+
+TEST(Pipeline, PartialSendRecvSurvivesTinySocketBuffers) {
+  auto listener = TcpListener::bind_loopback(0);
+  ASSERT_NE(listener, nullptr);
+  auto client = TcpConn::connect("127.0.0.1", listener->port(), 2.0);
+  auto server = listener->accept(2.0);
+  ASSERT_NE(client, nullptr);
+  ASSERT_NE(server, nullptr);
+
+  // Shrink both kernel buffers so a 256 KiB frame takes many partial
+  // sendmsg()/recv() rounds — the scatter-gather writer must resume
+  // mid-iovec and across iovec boundaries. (Loopback with tiny windows
+  // stalls on delayed ACKs, so keep the volume modest.)
+  const int small = 8192;
+  ASSERT_EQ(setsockopt(client->native_handle(), SOL_SOCKET, SO_SNDBUF,
+                       &small, sizeof(small)),
+            0);
+  ASSERT_EQ(setsockopt(server->native_handle(), SOL_SOCKET, SO_RCVBUF,
+                       &small, sizeof(small)),
+            0);
+
+  std::vector<std::uint8_t> payload(256u << 10);
+  std::mt19937_64 rng(0xcafe);
+  for (auto& b : payload) b = static_cast<std::uint8_t>(rng());
+
+  std::thread writer([&] {
+    FrameScratch scratch;
+    for (int i = 0; i < 2; ++i)
+      EXPECT_TRUE(
+          write_frame(*client, MsgType::kProfileSync, payload, scratch));
+  });
+  for (int i = 0; i < 2; ++i) {
+    Frame f;
+    ASSERT_EQ(read_frame(*server, &f, 30.0), FrameStatus::kOk) << i;
+    EXPECT_EQ(f.type, MsgType::kProfileSync);
+    EXPECT_EQ(f.payload, payload) << i;
+  }
+  writer.join();
+}
+
+TEST(Pipeline, BatchCodecRoundTripPreservesEveryEntry) {
+  BlockResultBatchMsg batch;
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    BlockResultMsg r;
+    r.run_id = 7;
+    r.sequence = 100 + i;
+    r.begin = i * 10;
+    r.end = i * 10 + 10;
+    r.exec_seconds = 0.25 * static_cast<double>(i);
+    r.ok = (i % 2) == 0;
+    r.error = r.ok ? "" : "boom";
+    r.results.assign(static_cast<std::size_t>(i * 3),
+                     static_cast<std::uint8_t>(i));
+    batch.results.push_back(std::move(r));
+  }
+  const auto decoded = BlockResultBatchMsg::decode(batch.encode());
+  ASSERT_TRUE(decoded.has_value());
+  ASSERT_EQ(decoded->results.size(), batch.results.size());
+  for (std::size_t i = 0; i < batch.results.size(); ++i) {
+    const BlockResultMsg& a = batch.results[i];
+    const BlockResultMsg& b = decoded->results[i];
+    EXPECT_EQ(a.run_id, b.run_id);
+    EXPECT_EQ(a.sequence, b.sequence);
+    EXPECT_EQ(a.begin, b.begin);
+    EXPECT_EQ(a.end, b.end);
+    EXPECT_EQ(a.exec_seconds, b.exec_seconds);
+    EXPECT_EQ(a.ok, b.ok);
+    EXPECT_EQ(a.error, b.error);
+    EXPECT_EQ(a.results, b.results);
+  }
+}
+
+TEST(Pipeline, BatchCodecRejectsMalformedPayloads) {
+  // Empty batches never ship (the sender always has >= 1 result).
+  BlockResultBatchMsg empty;
+  EXPECT_FALSE(BlockResultBatchMsg::decode(empty.encode()).has_value());
+
+  // A count beyond the cap is rejected before any allocation.
+  std::vector<std::uint8_t> oversized;
+  common::ByteWriter w{oversized};
+  w.var_u64(kMaxBatchedResults + 1);
+  EXPECT_FALSE(BlockResultBatchMsg::decode(oversized).has_value());
+
+  BlockResultBatchMsg batch;
+  for (std::uint64_t i = 0; i < 2; ++i) {
+    BlockResultMsg r;
+    r.sequence = i;
+    r.ok = true;
+    r.results = {1, 2, 3};
+    batch.results.push_back(std::move(r));
+  }
+  const std::vector<std::uint8_t> good = batch.encode();
+  ASSERT_TRUE(BlockResultBatchMsg::decode(good).has_value());
+  // Truncation at every byte boundary fails (count and per-entry length
+  // prefixes leave no prefix that parses as a smaller valid batch)...
+  for (std::size_t len = 0; len < good.size(); ++len)
+    EXPECT_FALSE(BlockResultBatchMsg::decode(
+                     std::span<const std::uint8_t>(good.data(), len))
+                     .has_value())
+        << "accepted truncation at " << len;
+  // ...and so does trailing garbage.
+  std::vector<std::uint8_t> padded = good;
+  padded.push_back(0x00);
+  EXPECT_FALSE(BlockResultBatchMsg::decode(padded).has_value());
 }
 
 // ---- Engine detach contract -----------------------------------------------

@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <numeric>
 
@@ -422,6 +423,100 @@ TEST(BlockSelection, ReportsSolveTime) {
   ASSERT_TRUE(sel.ok);
   EXPECT_GE(sel.solve_seconds, 0.0);
   EXPECT_LT(sel.solve_seconds, 5.0);
+}
+
+// ---- Overlap cost regime ---------------------------------------------------
+
+fit::PerfModel with_overlap(fit::PerfModel m, double overlap) {
+  m.overlap = overlap;
+  return m;
+}
+
+TEST(OverlapModel, ZeroOverlapIsBitIdenticalToAdditive) {
+  const fit::PerfModel m = affine_model(0.01, 2.0, 0.7, 0.003);
+  ASSERT_EQ(m.regime(), fit::CostRegime::kAdditive);
+  for (double x : {1e-4, 0.01, 0.3, 1.0}) {
+    // Exact equality on purpose: sync-mode schedules must reproduce the
+    // pre-pipelining behavior bit for bit.
+    EXPECT_EQ(m.total_time(x), m.execution_time(x) + m.transfer(x)) << x;
+    EXPECT_EQ(m.total_derivative(x),
+              m.exec.derivative(x) + m.transfer.derivative(x))
+        << x;
+  }
+}
+
+TEST(OverlapModel, FullOverlapApproachesMaxFromAbove) {
+  const fit::PerfModel m =
+      with_overlap(affine_model(0.01, 2.0, 0.7, 0.003), 1.0);
+  ASSERT_EQ(m.regime(), fit::CostRegime::kOverlap);
+  for (double x : {0.05, 0.2, 0.8}) {
+    const double f = m.execution_time(x);
+    const double g = m.transfer(x);
+    const double t = m.total_time(x);
+    // Steady state can never beat the larger phase, and the softmin
+    // smoothing overshoots max(F, G) by at most beta * (F + G) / 2.
+    EXPECT_GE(t, std::max(f, g) - 1e-12) << x;
+    EXPECT_LE(t, std::max(f, g) + 0.05 * (f + g) / 2.0 + 1e-12) << x;
+    EXPECT_LT(t, f + g) << x;
+  }
+}
+
+TEST(OverlapModel, DerivativesMatchFiniteDifferences) {
+  fit::PerfModel m;
+  m.exec.terms = {fit::BasisFn::kOne, fit::BasisFn::kX, fit::BasisFn::kXLnX};
+  m.exec.coefficients = {0.01, 1.2, 0.15};
+  m.transfer = {0.8, 0.002};
+  m.overlap = 0.6;
+  const double h = 1e-6;
+  for (double x : {0.05, 0.2, 0.5, 0.9}) {
+    const double d_fd = (m.total_time(x + h) - m.total_time(x - h)) / (2 * h);
+    EXPECT_NEAR(m.total_derivative(x), d_fd,
+                1e-5 * std::max(1.0, std::abs(d_fd)))
+        << x;
+    const double d2_fd =
+        (m.total_derivative(x + h) - m.total_derivative(x - h)) / (2 * h);
+    EXPECT_NEAR(m.total_second_derivative(x), d2_fd,
+                1e-4 * std::max(1.0, std::abs(d2_fd)))
+        << x;
+  }
+}
+
+TEST(OverlapModel, EqualTimesAchievedUnderMixedRegimes) {
+  // A heavily pipelined unit, a partially overlapped one, and a sync one:
+  // the interior-point selection must still equalize finish times, now
+  // measured under each unit's own regime.
+  std::vector<fit::PerfModel> models{
+      with_overlap(affine_model(0.02, 2.0, 1.5, 0.01), 0.9),
+      with_overlap(affine_model(0.01, 5.0, 0.8, 0.02), 0.4),
+      affine_model(0.0, 7.0, 0.5, 0.0)};
+  const BlockSelection sel = select_block_sizes(models);
+  ASSERT_TRUE(sel.ok);
+  EXPECT_FALSE(sel.used_fallback);
+  const double t0 = models[0].total_time(sel.fractions[0]);
+  for (std::size_t g = 1; g < models.size(); ++g)
+    EXPECT_NEAR(models[g].total_time(sel.fractions[g]), t0, 0.05 * t0)
+        << "unit " << g;
+
+  // Pipelining hides most of unit 0's wire time, so it must earn a
+  // larger share than the identical curves would under the additive
+  // regime.
+  std::vector<fit::PerfModel> additive = models;
+  for (fit::PerfModel& m : additive) m.overlap = 0.0;
+  const BlockSelection sync_sel = select_block_sizes(additive);
+  ASSERT_TRUE(sync_sel.ok);
+  EXPECT_GT(sel.fractions[0], sync_sel.fractions[0]);
+}
+
+TEST(OverlapModel, AnalyticSolverConvergesUnderOverlapToo) {
+  std::vector<fit::PerfModel> models{
+      with_overlap(affine_model(0.01, 3.0, 2.0, 0.005), 1.0),
+      with_overlap(affine_model(0.02, 4.0, 1.0, 0.01), 0.7)};
+  const EqualTimeResult r = solve_equal_time(models);
+  ASSERT_TRUE(r.ok);
+  EXPECT_NEAR(r.fractions[0] + r.fractions[1], 1.0, 1e-9);
+  const double t0 = models[0].total_time(r.fractions[0]);
+  const double t1 = models[1].total_time(r.fractions[1]);
+  EXPECT_NEAR(t1, t0, 0.05 * std::max(t0, t1));
 }
 
 // ---- Grain rounding --------------------------------------------------------

@@ -25,6 +25,11 @@ optimization is gone", not a 20% wobble:
 * ``transfer_r2``          fresh >= 0.75 x baseline  (bench_net: G_p(x)
   fit quality over measured loopback wire timings)
 
+``pipelined_vs_sync_makespan_ratio`` (bench_net) carries an *absolute*
+0.75 ceiling independent of the baseline: the pipelined data plane must
+beat the synchronous protocol by at least 25% on the machine running
+the gate, not merely stay in the baseline's neighborhood.
+
 Identity keys (``n``, ``samples``, ``lanes``, ``units``, ...) and the
 overall JSON structure must match exactly, so a silently shrunk sweep
 also fails the gate. For bench_service the arrival trace itself is
@@ -32,9 +37,10 @@ identity-checked (``trace_kinds``, ``trace_priorities``, ``jobs``,
 ``replay_identical``): the fixed-seed trace must replay structurally
 unchanged, and the two warm replays must have agreed exactly. For
 bench_net the correctness facts are identity-checked
-(``bit_identical``, ``lost_grains``, ``demoted``): the distributed
-product must stay bit-identical and the worker-kill run must keep
-losing zero grains.
+(``bit_identical``, ``lost_grains``, ``demoted``, and their
+``pipeline_*`` twins): the distributed product must stay bit-identical
+under both protocols and both worker-kill runs must keep losing zero
+grains.
 
 Usage:  check_bench.py BASELINE.json FRESH.json [more pairs ...]
         check_bench.py --self-test
@@ -59,6 +65,11 @@ CEIL_GATES = {
     "max_rel_diff": 1e-6,
     "max_abs_diff": 1e-6,
 }
+# Hard absolute ceilings: fresh <= ceiling regardless of the baseline.
+# A perf claim the repo makes unconditionally, not a drift guard.
+ABS_CEIL_GATES = {
+    "pipelined_vs_sync_makespan_ratio": 0.75,
+}
 # Machine-dependent values: type-checked only.
 IGNORED_SUFFIXES = ("_us", "gflops")
 IGNORED_KEYS = {"hardware_concurrency", "reps", "genes", "events"}
@@ -71,7 +82,12 @@ IDENTITY_KEYS = {"n", "samples", "lanes", "units", "samples_per_unit",
                  "payload_min_bytes", "payload_max_bytes",
                  "bit_identical", "dist_total_grains",
                  "dist_grains_counted", "lost_grains", "demoted",
-                 "kill_executed_grains"}
+                 "kill_executed_grains",
+                 "pipeline_depth", "pipeline_units", "pipeline_grains",
+                 "pipeline_chunk_grains", "pipeline_grains_exact",
+                 "pipeline_bit_identical", "pipeline_demoted",
+                 "pipeline_lost_grains",
+                 "pipeline_kill_executed_grains"}
 
 
 def fail(errors, path, message):
@@ -129,6 +145,13 @@ def compare(base, fresh, path, errors):
             fail(errors, path, f"residual blew up: {fresh:.3g} > "
                                f"{ceiling:.3g} (baseline {base:.3g})")
         return
+    if key in ABS_CEIL_GATES:
+        ceiling = ABS_CEIL_GATES[key]
+        if fresh > ceiling:
+            fail(errors, path, f"perf claim broken: {fresh:.3g} > "
+                               f"{ceiling:.3g} (absolute ceiling; "
+                               f"baseline {base:.3g})")
+        return
     # Unknown numeric/string key: tolerated, so adding new fields to a
     # bench JSON does not require touching this gate (removing fields
     # still fails the structural check above).
@@ -158,6 +181,11 @@ def self_test():
         "bit_identical": True,
         "lost_grains": 0,
         "demoted": True,
+        "pipelined_vs_sync_makespan_ratio": 0.55,
+        "pipeline_grains_exact": True,
+        "pipeline_bit_identical": True,
+        "pipeline_lost_grains": 0,
+        "pipeline_demoted": True,
     }
 
     def variant(**overrides):
@@ -192,6 +220,19 @@ def self_test():
         ("diverged distributed result fails",
          variant(bit_identical=False), True),
         ("undetected dead worker fails", variant(demoted=False), True),
+        ("makespan ratio 0.74 under absolute ceiling passes even far "
+         "from baseline",
+         variant(pipelined_vs_sync_makespan_ratio=0.74), False),
+        ("makespan ratio 0.76 over absolute ceiling fails",
+         variant(pipelined_vs_sync_makespan_ratio=0.76), True),
+        ("lost pipelined grains fail", variant(pipeline_lost_grains=3),
+         True),
+        ("diverged pipelined distributed result fails",
+         variant(pipeline_bit_identical=False), True),
+        ("incomplete pipeline comparison fails",
+         variant(pipeline_grains_exact=False), True),
+        ("undetected dead pipelined worker fails",
+         variant(pipeline_demoted=False), True),
     ]
     failures = 0
     for label, fresh, must_flag in cases:
