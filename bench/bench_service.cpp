@@ -10,20 +10,32 @@
 // `--smoke` runs a smaller trace and exits nonzero when the warm run does
 // not beat the cold run on probing blocks or when two warm replays from
 // identical store images diverge (completion order or makespan).
+//
+// A second section replays a 10k-job Poisson trace through the sharded
+// coordinator (ServiceOptions::shards) and through the classic single
+// event loop, reporting p50/p95/p99 job stretch and queue wait (virtual
+// time, deterministic), the shard/broker counters, the wall-clock of
+// both coordinators and their throughput ratio (sharded_speedup), and a
+// digest of the sharded completion order for replay identity.
 
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
 #include <map>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include <chrono>
+
 #include "plbhec/apps/blackscholes.hpp"
 #include "plbhec/apps/grn.hpp"
 #include "plbhec/apps/matmul.hpp"
+#include "plbhec/apps/synthetic.hpp"
 #include "plbhec/common/rng.hpp"
+#include "plbhec/obs/counters.hpp"
 #include "plbhec/sim/machine.hpp"
 #include "plbhec/svc/job_manager.hpp"
 
@@ -56,12 +68,31 @@ std::vector<KindTemplate> kind_pool() {
   return pool;
 }
 
+/// Lightweight kind pool for the 10k trace. JobManager materializes every
+/// workload up-front, so 10k matmul-1024 jobs would hold ~250 GB of
+/// matrices; SyntheticWorkload carries only its cost profile and keeps
+/// the trace a pure coordinator-throughput measurement.
+std::vector<KindTemplate> synthetic_pool() {
+  const auto syn = [](std::size_t grains, double flops) {
+    apps::SyntheticWorkload::Config config;
+    config.grains = grains;
+    config.flops_per_grain = flops;
+    config.bytes_per_grain = 2048.0;
+    return [config] { return std::make_unique<apps::SyntheticWorkload>(config); };
+  };
+  std::vector<KindTemplate> pool;
+  pool.push_back({"syn-small", syn(2'000, 8e5)});
+  pool.push_back({"syn-medium", syn(5'000, 4e5)});
+  pool.push_back({"syn-large", syn(12'000, 2e5)});
+  return pool;
+}
+
 /// Deterministic open-loop trace: exponential inter-arrivals (Poisson
 /// process) from the integer RNG stream, kinds cycling through the pool,
 /// priorities drawn 20% high / 60% normal / 20% low.
 std::vector<svc::JobSpec> make_trace(std::size_t jobs, std::uint64_t seed,
-                                     double mean_gap) {
-  const std::vector<KindTemplate> pool = kind_pool();
+                                     double mean_gap,
+                                     const std::vector<KindTemplate>& pool) {
   plbhec::Rng rng(seed);
   std::vector<svc::JobSpec> trace;
   double t = 0.0;
@@ -124,6 +155,56 @@ double mean_queue_wait(const svc::ServiceResult& r) {
   return sum / static_cast<double>(r.jobs.size());
 }
 
+/// Nearest-rank percentile (p in [0, 100]) of an unsorted sample.
+double percentile(std::vector<double> values, double p) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const double rank = p / 100.0 * static_cast<double>(values.size());
+  const std::size_t idx = static_cast<std::size_t>(std::max(
+      0.0, std::ceil(rank) - 1.0));
+  return values[std::min(idx, values.size() - 1)];
+}
+
+/// FNV-1a 64 digest of a completion order + makespan bits: one identity
+/// token for "the sharded 10k replay came out exactly the same".
+std::uint64_t order_digest(const svc::ServiceResult& r) {
+  std::uint64_t h = 14695981039346656037ULL;
+  const auto mix = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xff;
+      h *= 1099511628211ULL;
+    }
+  };
+  for (const svc::JobId id : r.completion_order) mix(id);
+  std::uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(r.makespan));
+  std::memcpy(&bits, &r.makespan, sizeof(bits));
+  mix(bits);
+  return h;
+}
+
+/// One 10k-trace coordinator pass; wall-clock is the DES throughput
+/// measurement, everything inside the result is virtual time.
+svc::ServiceResult run_trace10k(const sim::SimCluster& cluster,
+                                const std::vector<svc::JobSpec>& trace,
+                                std::size_t shards, std::uint64_t seed,
+                                plbhec::obs::CounterRegistry* counters,
+                                double* wall_seconds) {
+  svc::ServiceOptions options;
+  options.noise = sim::NoiseModel::none();
+  options.seed = seed;
+  options.shards = shards;
+  options.counters = counters;
+  svc::JobManager manager(cluster, options);
+  for (const svc::JobSpec& spec : trace) manager.submit(spec);
+  const auto t0 = std::chrono::steady_clock::now();
+  svc::ServiceResult result = manager.run();
+  *wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  return result;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -147,7 +228,8 @@ int main(int argc, char** argv) {
 
   const sim::SimCluster cluster(sim::scenario(machines));
   const std::size_t units = cluster.size();
-  const std::vector<svc::JobSpec> trace = make_trace(jobs, seed, mean_gap);
+  const std::vector<svc::JobSpec> trace =
+      make_trace(jobs, seed, mean_gap, kind_pool());
 
   const fs::path dir = fs::temp_directory_path();
   const fs::path store_cold = dir / "plbhec_bench_service_cold.store";
@@ -191,6 +273,47 @@ int main(int argc, char** argv) {
     if (!solo.count(spec.app_kind))
       solo[spec.app_kind] = solo_makespan(cluster, spec, seed);
 
+  // --- 10k-job Poisson trace: sharded coordinator vs single event loop.
+  // Same seed discipline as the 12-job section but a synthetic kind pool
+  // (see synthetic_pool()); no profile store, so both passes start cold
+  // and the comparison is pure coordinator throughput. Tail metrics come
+  // from the sharded pass (the scaled-out configuration this trace exists
+  // to exercise).
+  // The gap puts the offered load around 85% of cluster capacity (mean
+  // service demand is ~0.037 s/unit per job): queues form and drain, so
+  // the tails reflect the scheduler rather than an unbounded backlog.
+  const std::size_t jobs10k = 10'000;
+  const double mean_gap10k = 0.045;
+  const std::size_t shards10k = std::min<std::size_t>(4, units);
+  const std::vector<svc::JobSpec> trace10k =
+      make_trace(jobs10k, seed, mean_gap10k, synthetic_pool());
+
+  // Solo baselines for the 10k kinds (stretch denominators).
+  for (const svc::JobSpec& spec : trace10k)
+    if (!solo.count(spec.app_kind))
+      solo[spec.app_kind] = solo_makespan(cluster, spec, seed);
+
+  double wall_single = 0.0;
+  double wall_sharded = 0.0;
+  const svc::ServiceResult single10k =
+      run_trace10k(cluster, trace10k, 1, seed, nullptr, &wall_single);
+  plbhec::obs::CounterRegistry counters10k;
+  const svc::ServiceResult sharded10k = run_trace10k(
+      cluster, trace10k, shards10k, seed, &counters10k, &wall_sharded);
+  const bool ok10k = single10k.ok && sharded10k.ok;
+
+  std::vector<double> stretches, waits;
+  stretches.reserve(sharded10k.jobs.size());
+  waits.reserve(sharded10k.jobs.size());
+  for (const svc::JobOutcome& job : sharded10k.jobs) {
+    const double base = solo.count(job.app_kind) ? solo.at(job.app_kind)
+                                                 : -1.0;
+    if (base > 0.0) stretches.push_back(job.turnaround() / base);
+    waits.push_back(job.queue_wait());
+  }
+  const double sharded_speedup =
+      wall_sharded > 0.0 ? wall_single / wall_sharded : 0.0;
+
   char buf[1024];
   std::string json = "{\n  \"benchmark\": \"bench_service\",\n";
   std::snprintf(buf, sizeof(buf),
@@ -233,6 +356,34 @@ int main(int argc, char** argv) {
       warm.probe_blocks, warm.probe_blocks_saved, warm.warm_hits,
       warm.warm_misses, probing_saved_ratio, warm.leases_granted,
       warm.leases_revoked, warm.scheduler_restarts);
+  json += buf;
+
+  const double warm_vs_cold = cold.makespan > 0.0
+                                  ? warm.makespan / cold.makespan
+                                  : -1.0;
+  std::snprintf(
+      buf, sizeof(buf),
+      "  \"warm_vs_cold_makespan_ratio\": %.4f,\n"
+      "  \"trace10k_jobs\": %zu,\n  \"trace10k_shards\": %zu,\n"
+      "  \"trace10k_mean_gap\": %.17g,\n"
+      "  \"trace10k_makespan\": %.17g,\n"
+      "  \"trace10k_utilization\": %.4f,\n"
+      "  \"stretch_p50\": %.4f,\n  \"stretch_p95\": %.4f,\n"
+      "  \"stretch_p99\": %.4f,\n"
+      "  \"queue_wait_p50\": %.6f,\n  \"queue_wait_p95\": %.6f,\n"
+      "  \"queue_wait_p99\": %.6f,\n"
+      "  \"broker_rounds\": %zu,\n  \"broker_migrations\": %zu,\n"
+      "  \"trace10k_order_digest\": \"%016llx\",\n"
+      "  \"wall_single_loop_us\": %.0f,\n  \"wall_sharded_us\": %.0f,\n"
+      "  \"sharded_speedup\": %.4f,\n",
+      warm_vs_cold, jobs10k, shards10k, mean_gap10k, sharded10k.makespan,
+      sharded10k.utilization, percentile(stretches, 50.0),
+      percentile(stretches, 95.0), percentile(stretches, 99.0),
+      percentile(waits, 50.0), percentile(waits, 95.0),
+      percentile(waits, 99.0), sharded10k.broker_rounds,
+      sharded10k.broker_migrations,
+      static_cast<unsigned long long>(order_digest(sharded10k)),
+      wall_single * 1e6, wall_sharded * 1e6, sharded_speedup);
   json += buf;
 
   json += "  \"completion_order_cold\": \"" +
@@ -279,6 +430,33 @@ int main(int argc, char** argv) {
   if (smoke) {
     if (!all_ok) {
       std::fputs("smoke FAIL: a service run did not finish\n", stderr);
+      return 1;
+    }
+    if (!ok10k) {
+      std::fprintf(stderr,
+                   "smoke FAIL: 10k trace did not finish (single \"%s\", "
+                   "sharded \"%s\")\n",
+                   single10k.error.c_str(), sharded10k.error.c_str());
+      return 1;
+    }
+    if (sharded10k.completion_order.size() != jobs10k ||
+        single10k.completion_order.size() != jobs10k) {
+      std::fputs("smoke FAIL: 10k trace lost jobs\n", stderr);
+      return 1;
+    }
+    if (shards10k > 1 &&
+        (sharded10k.shards_used != shards10k ||
+         sharded10k.broker_rounds == 0)) {
+      std::fputs("smoke FAIL: sharded pass did not exercise the broker\n",
+                 stderr);
+      return 1;
+    }
+    if (counters10k.value("svc.broker.rounds") != sharded10k.broker_rounds ||
+        counters10k.value("svc.broker.migrations") !=
+            sharded10k.broker_migrations) {
+      std::fputs("smoke FAIL: published broker counters disagree with the "
+                 "service result\n",
+                 stderr);
       return 1;
     }
     if (warm.probe_blocks >= cold.probe_blocks) {

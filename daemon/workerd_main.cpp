@@ -36,7 +36,9 @@ int main(int argc, char** argv) {
         "ephemeral)\n"
         "  --name=S       daemon name reported to coordinators (default "
         "hostname-ish)\n"
-        "  --slowdown=F   stretch kernel times by F >= 1.0 (default 1.0)\n");
+        "  --slowdown=F   stretch kernel times by F >= 1.0 (default 1.0)\n"
+        "  --executor-threads=N  kernel executor pool size behind the "
+        "reactor (default 4)\n");
     return 0;
   }
 
@@ -49,6 +51,12 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "--slowdown must be >= 1.0\n");
     return 2;
   }
+  const long long executors = cli.get_int("executor-threads", 4);
+  if (executors < 1) {
+    std::fprintf(stderr, "--executor-threads must be >= 1\n");
+    return 2;
+  }
+  options.executor_threads = static_cast<std::size_t>(executors);
 
   plbhec::net::WorkerDaemon daemon(options);
   std::printf("plbhec-workerd '%s' listening on 127.0.0.1:%u (slowdown %.2f)\n",

@@ -200,8 +200,17 @@ std::size_t PlbHecScheduler::next_block(rt::UnitId unit, double now) {
                         static_cast<double>(work_.total_grains);
   const double effective = std::min(window, static_cast<double>(remaining));
   const double nominal = fractions_.empty() ? 0.0 : fractions_[unit];
-  const std::size_t block = std::max<std::size_t>(
+  std::size_t block = std::max<std::size_t>(
       1, static_cast<std::size_t>(std::llround(nominal * effective)));
+  // Bounded preemption latency: never issue a block predicted to run
+  // longer than max_block_seconds, so revocations and lease growth (which
+  // only act at block boundaries) stay responsive even when one slow unit
+  // holds the whole window.
+  if (options_.max_block_seconds > 0.0 && per_grain_[unit] > 0.0) {
+    const double cap = options_.max_block_seconds / per_grain_[unit];
+    block = std::min(block,
+                     std::max<std::size_t>(1, static_cast<std::size_t>(cap)));
+  }
 
   if (pending_rebalance_) {
     // Paper §III-D: the unit that detected the threshold receives one more

@@ -100,6 +100,16 @@ struct PlbHecOptions {
   /// unchanged.
   double overlap_smoothing = 0.4;
   double overlap_activation = 0.2;
+  /// Bounded preemption latency: upper bound, in engine seconds, on a
+  /// single execution-phase block's *predicted* duration (latest observed
+  /// per-grain time of the unit). The multi-tenant service revokes and
+  /// grows leases only at block boundaries, so an uncapped block — e.g. a
+  /// full step_fraction window issued to a one-unit lease the moment a
+  /// warm start skips the probing ramp — pins the lease for the block's
+  /// whole duration and strands grains on slow units while faster ones
+  /// are already granted. 0 (the default) keeps the paper's behavior:
+  /// blocks are whatever the equal-time selection says.
+  double max_block_seconds = 0.0;
 };
 
 /// Diagnostics exposed for the benchmark harness.

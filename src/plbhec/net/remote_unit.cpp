@@ -87,6 +87,7 @@ bool RemoteUnit::begin_run(rt::Workload& workload) {
 
 void RemoteUnit::end_run() {
   monitor_stop_.store(true, std::memory_order_release);
+  wait_cv_.notify_all();
   if (heartbeat_thread_.joinable()) heartbeat_thread_.join();
   std::shared_ptr<TcpConn> conn;
   {
@@ -345,12 +346,24 @@ void RemoteUnit::publish_counters(obs::CounterRegistry& registry) const {
   registry.set(prefix + "heartbeats_missed", heartbeats_missed_.load());
 }
 
+void RemoteUnit::interruptible_sleep(double seconds, bool wake_on_demote) {
+  const Clock::time_point deadline =
+      Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                         std::chrono::duration<double>(seconds));
+  std::unique_lock lock(wait_mutex_);
+  wait_cv_.wait_until(lock, deadline, [&] {
+    return monitor_stop_.load(std::memory_order_acquire) ||
+           (wake_on_demote && demoted_.load(std::memory_order_acquire));
+  });
+}
+
 bool RemoteUnit::reconnect() {
   double backoff = options_.backoff_initial_seconds;
   for (std::size_t attempt = 1; attempt <= options_.max_reconnect_attempts;
        ++attempt) {
     if (demoted()) return false;
-    std::this_thread::sleep_for(std::chrono::duration<double>(backoff));
+    interruptible_sleep(backoff, /*wake_on_demote=*/true);
+    if (demoted()) return false;
     reconnects_.fetch_add(1);
     std::unique_ptr<TcpConn> conn = dial(options_.control_timeout_seconds);
     const bool ok = conn != nullptr && start_run_on(*conn);
@@ -399,7 +412,9 @@ void RemoteUnit::heartbeat_loop() {
   const double interval = options_.heartbeat_interval_seconds;
 
   while (!monitor_stop_.load(std::memory_order_acquire)) {
-    std::this_thread::sleep_for(std::chrono::duration<double>(interval));
+    // Not demote-woken: after a self-demotion this loop is the one that
+    // already returned; end_run() is the only legitimate interrupter.
+    interruptible_sleep(interval, /*wake_on_demote=*/false);
     if (monitor_stop_.load(std::memory_order_acquire)) return;
 
     bool alive = false;
@@ -432,6 +447,7 @@ void RemoteUnit::heartbeat_loop() {
       // Declare the worker dead: demote and cut the data connection so a
       // blocked BlockResult wait fails now and the engine requeues.
       demoted_.store(true, std::memory_order_release);
+      wait_cv_.notify_all();  // a reconnect backoff in progress gives up now
       std::lock_guard lock(conn_mutex_);
       if (data_conn_ != nullptr) data_conn_->cancel();
       return;

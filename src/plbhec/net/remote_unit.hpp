@@ -17,6 +17,7 @@
 /// the unit gives up and reports permanent failure.
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -138,6 +139,10 @@ class RemoteUnit final : public rt::ExecUnit {
   /// Bounded-backoff re-dial + re-BeginRun; false when exhausted.
   [[nodiscard]] bool reconnect();
   void heartbeat_loop();
+  /// Timed wait that end_run() (and, when `wake_on_demote`, a demotion)
+  /// interrupts immediately — backoff and heartbeat pacing never hold a
+  /// teardown hostage for a full interval.
+  void interruptible_sleep(double seconds, bool wake_on_demote);
 
   RemoteUnitOptions options_;
   std::string spec_;        ///< current run's workload spec
@@ -154,6 +159,8 @@ class RemoteUnit final : public rt::ExecUnit {
   std::thread heartbeat_thread_;
   std::atomic<bool> monitor_stop_{false};
   std::atomic<bool> demoted_{false};
+  std::mutex wait_mutex_;              ///< pairs with wait_cv_ only
+  std::condition_variable wait_cv_;    ///< wakes interruptible_sleep
   std::atomic<std::uint64_t> reconnects_{0};
   std::atomic<std::uint64_t> heartbeats_missed_{0};
 };

@@ -166,6 +166,29 @@ bool TcpConn::recv_all(void* data, std::size_t size, double timeout_seconds) {
   return true;
 }
 
+long TcpConn::recv_nonblocking(void* data, std::size_t cap) {
+  while (true) {
+    if (cancelled()) return -1;
+    const ssize_t n = ::recv(fd_, data, cap, MSG_DONTWAIT);
+    if (n > 0) return static_cast<long>(n);
+    if (n == 0) return -1;  // orderly EOF
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return 0;
+    return -1;
+  }
+}
+
+long TcpConn::send_nonblocking(const void* data, std::size_t size) {
+  while (true) {
+    if (cancelled()) return -1;
+    const ssize_t n = ::send(fd_, data, size, MSG_DONTWAIT | MSG_NOSIGNAL);
+    if (n >= 0) return static_cast<long>(n);
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return 0;
+    return -1;
+  }
+}
+
 bool TcpConn::readable(double timeout_seconds) {
   if (cancelled()) return false;
   pollfd pfd{fd_, POLLIN, 0};

@@ -58,6 +58,18 @@ class TcpConn {
   /// ability to distinguish "idle" from "dead".
   [[nodiscard]] bool readable(double timeout_seconds);
 
+  /// Non-blocking receive for readiness-driven (epoll) reactors: reads
+  /// whatever the kernel has, up to `cap` bytes. Returns the byte count
+  /// (> 0), 0 when the socket has nothing buffered (would block), or -1
+  /// on EOF, error, or cancellation.
+  [[nodiscard]] long recv_nonblocking(void* data, std::size_t cap);
+
+  /// Non-blocking send counterpart: writes as much of [data, data+size)
+  /// as the kernel accepts. Returns bytes written (>= 0; 0 = send buffer
+  /// full) or -1 on error/cancellation. The caller keeps the unsent tail
+  /// and retries on the next writability notification.
+  [[nodiscard]] long send_nonblocking(const void* data, std::size_t size);
+
   /// Permanently wakes and fails all in-flight and future I/O on this
   /// connection. Safe from any thread, idempotent.
   void cancel();
@@ -86,6 +98,9 @@ class TcpListener {
 
   /// The bound port (resolved when constructed with port 0).
   [[nodiscard]] std::uint16_t port() const { return port_; }
+
+  /// The listening fd (ownership stays here) — for epoll registration.
+  [[nodiscard]] int native_handle() const { return fd_; }
 
   /// Accepts one connection; nullptr on timeout or after close().
   /// `timeout_seconds` < 0 waits forever.

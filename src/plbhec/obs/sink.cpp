@@ -27,6 +27,7 @@ const char* to_string(EventKind kind) {
     case EventKind::kMsgReceived: return "msg_received";
     case EventKind::kHeartbeatMissed: return "heartbeat_missed";
     case EventKind::kReconnect: return "reconnect";
+    case EventKind::kShardMigration: return "shard_migration";
   }
   return "unknown";
 }
@@ -76,6 +77,8 @@ std::array<const char*, 4> arg_names(EventKind kind) {
       return {"overdue_seconds", nullptr, "missed", "sequence"};
     case EventKind::kReconnect:
       return {"backoff_seconds", nullptr, "attempt", "success"};
+    case EventKind::kShardMigration:
+      return {nullptr, nullptr, "from_shard", "to_shard"};
   }
   return {nullptr, nullptr, nullptr, nullptr};
 }

@@ -16,6 +16,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <latch>
 #include <memory>
 #include <random>
 #include <thread>
@@ -875,6 +876,106 @@ TEST(Pipeline, BatchCodecRejectsMalformedPayloads) {
   std::vector<std::uint8_t> padded = good;
   padded.push_back(0x00);
   EXPECT_FALSE(BlockResultBatchMsg::decode(padded).has_value());
+}
+
+// ---- Epoll reactor --------------------------------------------------------
+
+TEST(Reactor, FourConcurrentCoordinatorsGetBitIdenticalResults) {
+  constexpr std::size_t kN = 96;
+  constexpr int kCoordinators = 4;
+  WorkerDaemon daemon({0, "wd", 1.0});
+
+  apps::MatMulWorkload local(kN, /*materialize=*/true);
+  local.execute_cpu(0, kN);
+
+  // Four coordinators hammer the same daemon at once; one reactor thread
+  // multiplexes all of their connections and every result must still be
+  // bit-identical to local execution.
+  std::vector<std::unique_ptr<apps::MatMulWorkload>> workloads;
+  for (int i = 0; i < kCoordinators; ++i)
+    workloads.push_back(
+        std::make_unique<apps::MatMulWorkload>(kN, /*materialize=*/true));
+  std::atomic<int> failures{0};
+  // Rendezvous after begin_run so all four data connections are open at
+  // the same instant — otherwise a fast coordinator can come and go
+  // before the last one dials and the peak never reaches four.
+  std::latch all_connected(kCoordinators);
+  std::vector<std::thread> coordinators;
+  for (int i = 0; i < kCoordinators; ++i) {
+    coordinators.emplace_back([&, i] {
+      RemoteUnit unit(steady_options(daemon.port()));
+      rt::BlockTiming timing;
+      const bool connected = unit.begin_run(*workloads[i]);
+      all_connected.arrive_and_wait();
+      if (!connected || !unit.execute(*workloads[i], 0, kN / 2, timing) ||
+          !unit.execute(*workloads[i], kN / 2, kN, timing))
+        failures.fetch_add(1);
+      unit.end_run();
+    });
+  }
+  for (std::thread& t : coordinators) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  for (const auto& w : workloads) EXPECT_EQ(w->result(), local.result());
+
+  EXPECT_EQ(daemon.blocks_served(), 2u * kCoordinators);
+  EXPECT_GE(daemon.connections_accepted(),
+            static_cast<std::uint64_t>(kCoordinators));
+  EXPECT_GE(daemon.peak_connections(),
+            static_cast<std::uint64_t>(kCoordinators));
+  EXPECT_GT(daemon.reactor_wakeups(), 0u);
+  EXPECT_GT(daemon.frames_received(), 0u);
+}
+
+TEST(Reactor, ConcurrentCoordinatorsLoseZeroGrainsWhenDaemonIsKilled) {
+  constexpr std::size_t kGrains = 6'000;
+  constexpr int kCoordinators = 4;
+  WorkerDaemon doomed({0, "wd-doomed", 1.0});
+
+  // Four independent engines each pair a local unit with a remote unit
+  // on the shared doomed daemon. Killing it mid-run cuts every
+  // multiplexed connection at once; each engine must finish all of its
+  // grains on the surviving local unit.
+  struct Rig {
+    std::unique_ptr<rt::ThreadEngine> engine;
+    std::unique_ptr<apps::SyntheticWorkload> workload;
+    RemoteUnit* remote = nullptr;
+    rt::RunResult result;
+  };
+  std::vector<Rig> rigs(kCoordinators);
+  for (Rig& rig : rigs) {
+    std::vector<std::unique_ptr<rt::ExecUnit>> units;
+    units.push_back(std::make_unique<rt::LocalExecUnit>(
+        rt::LocalExecUnit::Options{"local0", 1.0, true}));
+    auto remote = std::make_unique<RemoteUnit>(fast_options(doomed.port()));
+    rig.remote = remote.get();
+    units.push_back(std::move(remote));
+    rig.engine = std::make_unique<rt::ThreadEngine>(rt::ThreadEngineOptions{},
+                                                    std::move(units));
+    rig.workload = std::make_unique<apps::SyntheticWorkload>(
+        apps::SyntheticWorkload::Config{kGrains, 1e6, 64.0, 16.0, 2.0, 0.97,
+                                        0.5, 0.5, 3'000});
+  }
+
+  std::thread killer([&] {
+    wait_for_first_block(doomed);
+    doomed.kill();
+  });
+  std::vector<std::thread> runners;
+  for (Rig& rig : rigs) {
+    runners.emplace_back([&rig] {
+      core::PlbHecScheduler plb;
+      rig.result = rig.engine->run(*rig.workload, plb);
+    });
+  }
+  for (std::thread& t : runners) t.join();
+  killer.join();
+
+  for (Rig& rig : rigs) {
+    ASSERT_TRUE(rig.result.ok) << rig.result.error;
+    // Zero lost grains per coordinator despite the shared daemon dying.
+    EXPECT_EQ(rig.workload->executed_grains(), kGrains);
+  }
+  EXPECT_GT(doomed.connections_accepted(), 0u);
 }
 
 // ---- Engine detach contract -----------------------------------------------

@@ -79,6 +79,67 @@ TEST(PlbHec, ModelsAreFittedForEveryUnit) {
   for (const auto& m : plb.models()) EXPECT_TRUE(m.valid());
 }
 
+TEST(PlbHec, MaxBlockSecondsCapsExecutionBlocks) {
+  // Bounded preemption latency (the warm-start-regression fix): with a
+  // one-unit lease the equal-time selection hands the whole step_fraction
+  // window (2500 grains, 2.5 s at 1 ms/grain) to that unit as a single
+  // block. The service can only revoke or grow leases at block
+  // boundaries, so max_block_seconds must clamp the block to the bound's
+  // worth of predicted work.
+  core::PlbHecOptions opts;
+  opts.max_block_seconds = 0.010;
+  core::PlbHecScheduler plb(opts);
+  std::vector<rt::UnitInfo> units(1);
+  units[0].id = 0;
+  units[0].name = "slow.cpu";
+  rt::WorkInfo work;
+  work.name = "synthetic";
+  work.total_grains = 10'000;
+  work.initial_block = 16;
+  plb.start(units, work);
+
+  constexpr double kPerGrain = 1e-3;
+  double now = 0.0;
+  for (int i = 0; i < 64 && plb.stats().solves == 0; ++i) {
+    const std::size_t g = plb.next_block(0, now);
+    ASSERT_GT(g, 0u);
+    rt::TaskObservation obs;
+    obs.unit = 0;
+    obs.grains = g;
+    obs.exec_seconds = kPerGrain * static_cast<double>(g);
+    obs.start_time = now;
+    obs.finish_time = now + obs.exec_seconds;
+    now = obs.finish_time;
+    plb.on_complete(obs);
+  }
+  ASSERT_GE(plb.stats().solves, 1u);  // execution phase reached
+
+  const std::size_t capped = plb.next_block(0, now);
+  EXPECT_GE(capped, 1u);
+  EXPECT_LE(capped,
+            static_cast<std::size_t>(opts.max_block_seconds / kPerGrain));
+
+  // The default (0) keeps the paper's behavior: the same drive without
+  // the cap issues the full window in one block.
+  core::PlbHecScheduler uncapped;
+  uncapped.start(units, work);
+  now = 0.0;
+  for (int i = 0; i < 64 && uncapped.stats().solves == 0; ++i) {
+    const std::size_t g = uncapped.next_block(0, now);
+    ASSERT_GT(g, 0u);
+    rt::TaskObservation obs;
+    obs.unit = 0;
+    obs.grains = g;
+    obs.exec_seconds = kPerGrain * static_cast<double>(g);
+    obs.start_time = now;
+    obs.finish_time = now + obs.exec_seconds;
+    now = obs.finish_time;
+    uncapped.on_complete(obs);
+  }
+  ASSERT_GE(uncapped.stats().solves, 1u);
+  EXPECT_GT(uncapped.next_block(0, now), 1'000u);
+}
+
 TEST(PlbHec, GpuGetsLargerShareThanCpuOnComputeBoundWork) {
   // Machine A: Tesla K20c vs 10-core Xeon — the GPU must win a compute-
   // bound division (the paper's Fig. 6 observation).

@@ -24,6 +24,21 @@ optimization is gone", not a 20% wobble:
   probing blocks the warm start saved relative to the cold run's total)
 * ``transfer_r2``          fresh >= 0.75 x baseline  (bench_net: G_p(x)
   fit quality over measured loopback wire timings)
+* ``sharded_speedup``      fresh >= 0.50 x baseline  (bench_service:
+  wall-clock of the single event loop over the sharded coordinator on
+  the 10k-job trace; wall-clock is noisy, so the floor only catches the
+  sharded path becoming catastrophically slower than the classic loop)
+
+Tail-latency keys from the 10k-job trace (``stretch_p50/p95/p99``,
+``queue_wait_p50/p95/p99``) are *virtual-time* and deterministic for a
+given build, but legitimately move when scheduler policy changes; they
+carry a ceiling of ``max(abs_slack, 1.5 x baseline)`` (lower = better,
+and the absolute slack keeps near-zero queue waits from tripping on
+noise-sized absolute shifts).
+
+``warm_vs_cold_makespan_ratio`` (bench_service) carries an *absolute*
+1.05 ceiling: the warm start must never cost more than 5% makespan over
+the cold run on the same trace, independent of the baseline.
 
 ``pipelined_vs_sync_makespan_ratio`` (bench_net) carries an *absolute*
 0.75 ceiling independent of the baseline: the pipelined data plane must
@@ -35,7 +50,11 @@ overall JSON structure must match exactly, so a silently shrunk sweep
 also fails the gate. For bench_service the arrival trace itself is
 identity-checked (``trace_kinds``, ``trace_priorities``, ``jobs``,
 ``replay_identical``): the fixed-seed trace must replay structurally
-unchanged, and the two warm replays must have agreed exactly. For
+unchanged, and the two warm replays must have agreed exactly. The
+10k-job trace is identity-checked on its shape (``trace10k_jobs``,
+``trace10k_shards``) but *not* on ``trace10k_order_digest``: the digest
+is deterministic per build yet moves with any scheduler-policy change,
+so it is published for replay debugging rather than gated. For
 bench_net the correctness facts are identity-checked
 (``bit_identical``, ``lost_grains``, ``demoted``, and their
 ``pipeline_*`` twins): the distributed product must stay bit-identical
@@ -59,16 +78,30 @@ RATIO_GATES = {
     "cache_speedup": ("floor", 0.05),
     "probing_saved_ratio": ("floor", 0.25),
     "transfer_r2": ("floor", 0.75),
+    "sharded_speedup": ("floor", 0.50),
 }
 CEIL_GATES = {
     "overhead_pct": 2.0,  # abs ceiling; recording must stay under 2%
     "max_rel_diff": 1e-6,
     "max_abs_diff": 1e-6,
 }
+# Tail-latency ceilings (virtual time, lower = better):
+# fresh <= max(abs_slack, factor * base). The absolute slack keeps
+# near-zero baselines (an idle-ish queue wait) from failing on tiny
+# absolute shifts.
+TAIL_GATES = {
+    "stretch_p50": (1.0, 1.5),
+    "stretch_p95": (1.0, 1.5),
+    "stretch_p99": (1.0, 1.5),
+    "queue_wait_p50": (1.0, 1.5),
+    "queue_wait_p95": (1.0, 1.5),
+    "queue_wait_p99": (1.0, 1.5),
+}
 # Hard absolute ceilings: fresh <= ceiling regardless of the baseline.
 # A perf claim the repo makes unconditionally, not a drift guard.
 ABS_CEIL_GATES = {
     "pipelined_vs_sync_makespan_ratio": 0.75,
+    "warm_vs_cold_makespan_ratio": 1.05,
 }
 # Machine-dependent values: type-checked only.
 IGNORED_SUFFIXES = ("_us", "gflops")
@@ -77,7 +110,7 @@ IGNORED_KEYS = {"hardware_concurrency", "reps", "genes", "events"}
 IDENTITY_KEYS = {"n", "samples", "lanes", "units", "samples_per_unit",
                  "benchmark", "compiled_in", "makespan_equal",
                  "jobs", "seed", "trace_kinds", "trace_priorities",
-                 "replay_identical",
+                 "replay_identical", "trace10k_jobs", "trace10k_shards",
                  "curve_n", "dist_n", "kill_grains", "transfer_samples",
                  "payload_min_bytes", "payload_max_bytes",
                  "bit_identical", "dist_total_grains",
@@ -145,6 +178,14 @@ def compare(base, fresh, path, errors):
             fail(errors, path, f"residual blew up: {fresh:.3g} > "
                                f"{ceiling:.3g} (baseline {base:.3g})")
         return
+    if key in TAIL_GATES:
+        abs_slack, factor = TAIL_GATES[key]
+        ceiling = max(abs_slack, factor * base)
+        if fresh > ceiling:
+            fail(errors, path, f"tail regressed: {fresh:.3g} > "
+                               f"{ceiling:.3g} (= max({abs_slack}, "
+                               f"{factor} x baseline {base:.3g}))")
+        return
     if key in ABS_CEIL_GATES:
         ceiling = ABS_CEIL_GATES[key]
         if fresh > ceiling:
@@ -175,6 +216,15 @@ def self_test():
         "max_rel_diff": 1e-12,
         "run_us": 120.0,
         "arrival_times": [0.1, 0.2],
+        # 10k-trace fields (bench_service sharded-coordinator section).
+        "trace10k_jobs": 10000,
+        "trace10k_shards": 4,
+        "trace10k_order_digest": "8806bf5d731c1879",
+        "stretch_p99": 5134.4,
+        "queue_wait_p50": 0.17,
+        "queue_wait_p99": 268.2,
+        "sharded_speedup": 1.02,
+        "warm_vs_cold_makespan_ratio": 0.99,
         # bench_net-shaped facts ride along in the same baseline so the
         # transport gates are exercised by the same case table.
         "transfer_r2": 0.90,
@@ -233,6 +283,26 @@ def self_test():
          variant(pipeline_grains_exact=False), True),
         ("undetected dead pipelined worker fails",
          variant(pipeline_demoted=False), True),
+        ("tail within 1.5x ceiling passes",
+         variant(stretch_p99=7000.0), False),
+        ("tail beyond 1.5x ceiling fails",
+         variant(stretch_p99=8000.0), True),
+        ("near-zero queue wait rides the absolute slack",
+         variant(queue_wait_p50=0.9), False),
+        ("queue-wait tail beyond ceiling fails",
+         variant(queue_wait_p99=450.0), True),
+        ("wobbling sharded_speedup passes",
+         variant(sharded_speedup=0.75), False),
+        ("collapsed sharded_speedup fails",
+         variant(sharded_speedup=0.3), True),
+        ("warm run 4% over cold passes the absolute ceiling",
+         variant(warm_vs_cold_makespan_ratio=1.04), False),
+        ("warm run 6% over cold fails the absolute ceiling",
+         variant(warm_vs_cold_makespan_ratio=1.06), True),
+        ("changed 10k digest is informational, not gated",
+         variant(trace10k_order_digest="0000000000000000"), False),
+        ("shrunk 10k trace fails", variant(trace10k_jobs=1000), True),
+        ("changed shard count fails", variant(trace10k_shards=1), True),
     ]
     failures = 0
     for label, fresh, must_flag in cases:
