@@ -1,0 +1,97 @@
+#include "plbhec/chaos/fault.hpp"
+
+#include <algorithm>
+
+#include "plbhec/common/contracts.hpp"
+
+namespace plbhec::chaos {
+
+const char* to_string(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kKill:
+      return "kill";
+    case FaultKind::kFreeze:
+      return "freeze";
+    case FaultKind::kPartition:
+      return "partition";
+    case FaultKind::kSlowDown:
+      return "slow-down";
+    case FaultKind::kLinkDegrade:
+      return "link-degrade";
+  }
+  return "?";
+}
+
+FaultScript& FaultScript::kill(std::size_t unit, double time_s) {
+  events.push_back({time_s, unit, FaultKind::kKill, 1.0, 0.0});
+  return *this;
+}
+
+FaultScript& FaultScript::freeze(std::size_t unit, double time_s) {
+  events.push_back({time_s, unit, FaultKind::kFreeze, 1.0, 0.0});
+  return *this;
+}
+
+FaultScript& FaultScript::partition(std::size_t unit, double time_s) {
+  events.push_back({time_s, unit, FaultKind::kPartition, 1.0, 0.0});
+  return *this;
+}
+
+FaultScript& FaultScript::slow_down(std::size_t unit, double time_s,
+                                    double factor) {
+  PLBHEC_EXPECTS(factor > 0.0 && factor <= 1.0);
+  events.push_back({time_s, unit, FaultKind::kSlowDown, factor, 0.0});
+  return *this;
+}
+
+FaultScript& FaultScript::degrade_link(std::size_t unit, double time_s,
+                                       double extra_latency_s,
+                                       double bandwidth_factor) {
+  PLBHEC_EXPECTS(extra_latency_s >= 0.0);
+  PLBHEC_EXPECTS(bandwidth_factor > 0.0 && bandwidth_factor <= 1.0);
+  events.push_back(
+      {time_s, unit, FaultKind::kLinkDegrade, bandwidth_factor,
+       extra_latency_s});
+  return *this;
+}
+
+std::vector<FaultEvent> FaultScript::sorted() const {
+  std::vector<FaultEvent> out = events;
+  std::stable_sort(out.begin(), out.end(),
+                   [](const FaultEvent& a, const FaultEvent& b) {
+                     return a.time_s < b.time_s;
+                   });
+  return out;
+}
+
+std::vector<std::size_t> FaultScript::demoted_units() const {
+  std::vector<std::size_t> out;
+  for (const auto& e : sorted())
+    if (demotes(e.kind) &&
+        std::find(out.begin(), out.end(), e.unit) == out.end())
+      out.push_back(e.unit);
+  return out;
+}
+
+std::size_t FaultScript::max_unit() const {
+  std::size_t max = 0;
+  for (const auto& e : events) max = std::max(max, e.unit);
+  return max;
+}
+
+bool validate(const FaultScript& script, const FaultTarget& target) {
+  for (const auto& e : script.events) {
+    if (e.unit >= target.unit_count()) return false;
+    if (!target.supports(e.kind)) return false;
+    if (e.time_s < 0.0) return false;
+  }
+  return true;
+}
+
+bool inject(const FaultScript& script, FaultTarget& target) {
+  if (!validate(script, target)) return false;
+  for (const auto& e : script.sorted()) target.deliver(e);
+  return true;
+}
+
+}  // namespace plbhec::chaos

@@ -1,0 +1,105 @@
+#pragma once
+/// \file fault.hpp
+/// The fault-injection seam: one scripted description of worker and link
+/// faults, keyed on virtual time, replayable unchanged against any
+/// FaultTarget — the simulated cluster (events pre-registered on the
+/// virtual timeline, chaos/sim_target.hpp) or a rig of real worker
+/// daemons (events delivered by a wall-clock player, chaos/net_target.hpp).
+///
+/// The contract every target honors is the *scheduler-visible* one, not a
+/// mechanism-level one: kill, freeze and partition all end in the unit's
+/// permanent demotion (Scheduler::on_unit_failed) with zero lost grains —
+/// they differ only in the detection path (I/O error, heartbeat timeout,
+/// heartbeat timeout) — while slow-down and link degradation change the
+/// observed timings without demotion. A script that demotes units in a
+/// given order therefore produces the same demotion order on either side
+/// of the seam, which tests/test_chaos.cpp asserts.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace plbhec::chaos {
+
+enum class FaultKind : std::uint8_t {
+  kKill,         ///< process crash: connections cut, immediate-error demotion
+  kFreeze,       ///< hung process: open but silent, heartbeat-timeout demotion
+  kPartition,    ///< network partition: unreachable worker, same demotion path
+  kSlowDown,     ///< QoS degradation: unit runs at `factor` of nominal speed
+  kLinkDegrade,  ///< extra path latency and/or scaled bandwidth, no demotion
+};
+
+[[nodiscard]] const char* to_string(FaultKind kind);
+
+/// True for the kinds whose scheduler-visible outcome is a permanent
+/// demotion of the unit (kill / freeze / partition).
+[[nodiscard]] constexpr bool demotes(FaultKind kind) {
+  return kind == FaultKind::kKill || kind == FaultKind::kFreeze ||
+         kind == FaultKind::kPartition;
+}
+
+struct FaultEvent {
+  double time_s = 0.0;   ///< virtual delivery time, relative to run start
+  std::size_t unit = 0;  ///< target processing unit (engine id order)
+  FaultKind kind = FaultKind::kKill;
+  double factor = 1.0;  ///< kSlowDown: speed multiplier in (0, 1];
+                        ///< kLinkDegrade: bandwidth multiplier in (0, 1]
+  double extra_latency_s = 0.0;  ///< kLinkDegrade: added path latency
+};
+
+/// An ordered fault schedule. Built through the fluent helpers so scripts
+/// read like the scenario they describe; events may be added in any order
+/// and are delivered sorted by time (ties in insertion order).
+struct FaultScript {
+  std::string name = "none";
+  std::vector<FaultEvent> events;
+
+  FaultScript& kill(std::size_t unit, double time_s);
+  FaultScript& freeze(std::size_t unit, double time_s);
+  FaultScript& partition(std::size_t unit, double time_s);
+  FaultScript& slow_down(std::size_t unit, double time_s, double factor);
+  FaultScript& degrade_link(std::size_t unit, double time_s,
+                            double extra_latency_s, double bandwidth_factor);
+
+  /// Events in delivery order (stable sort by time).
+  [[nodiscard]] std::vector<FaultEvent> sorted() const;
+  /// Units the script permanently demotes, in delivery order.
+  [[nodiscard]] std::vector<std::size_t> demoted_units() const;
+  /// Largest unit index referenced; 0 for an empty script.
+  [[nodiscard]] std::size_t max_unit() const;
+  [[nodiscard]] bool empty() const { return events.empty(); }
+};
+
+/// One side of the seam: anything that can realize scripted faults.
+class FaultTarget {
+ public:
+  virtual ~FaultTarget() = default;
+
+  /// Number of addressable processing units.
+  [[nodiscard]] virtual std::size_t unit_count() const = 0;
+
+  /// Capability probe: a target that cannot express a fault kind (e.g.
+  /// real TCP sockets have no scriptable link bandwidth) rejects the
+  /// whole script up front instead of silently dropping events.
+  [[nodiscard]] virtual bool supports(FaultKind kind) const = 0;
+
+  /// Realizes one event. The simulated target registers it on the virtual
+  /// timeline at event.time_s; the networked target acts immediately (the
+  /// ScriptPlayer is responsible for calling at the right wall moment).
+  virtual void deliver(const FaultEvent& event) = 0;
+};
+
+/// Validates `script` against `target` (unit range + capabilities) and
+/// delivers every event in time order. Returns false — with nothing
+/// delivered — when any event is out of range or unsupported. For
+/// timeline-based targets this is the whole injection; wall-clock targets
+/// are driven through chaos::ScriptPlayer instead, which uses the same
+/// validation.
+bool inject(const FaultScript& script, FaultTarget& target);
+
+/// The validation half of inject(), shared with ScriptPlayer.
+[[nodiscard]] bool validate(const FaultScript& script,
+                            const FaultTarget& target);
+
+}  // namespace plbhec::chaos

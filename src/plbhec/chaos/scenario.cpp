@@ -1,0 +1,470 @@
+#include "plbhec/chaos/scenario.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <cmath>
+#include <functional>
+#include <memory>
+
+#include "plbhec/apps/blackscholes.hpp"
+#include "plbhec/apps/grn.hpp"
+#include "plbhec/apps/matmul.hpp"
+#include "plbhec/baselines/acosta.hpp"
+#include "plbhec/baselines/greedy.hpp"
+#include "plbhec/baselines/hdss.hpp"
+#include "plbhec/baselines/static_profile.hpp"
+#include "plbhec/chaos/sim_target.hpp"
+#include "plbhec/common/contracts.hpp"
+#include "plbhec/common/rng.hpp"
+#include "plbhec/core/plb_hec.hpp"
+#include "plbhec/rt/engine.hpp"
+#include "plbhec/rt/workload.hpp"
+#include "plbhec/sim/device.hpp"
+#include "plbhec/sim/link.hpp"
+
+namespace plbhec::chaos {
+namespace {
+
+std::uint64_t fnv1a(const std::string& s) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+struct ShapeSpec {
+  std::size_t units = 0;
+  /// Log-uniform half-spread of per-unit compute speed (1.5 = units within
+  /// ~2x of each other, 12 = two orders of magnitude end to end).
+  double speed_spread = 1.5;
+  double link_spread = 1.2;
+};
+
+ShapeSpec parse_shape(const std::string& shape) {
+  // "u<N>-mild" | "u<N>-extreme"
+  PLBHEC_EXPECTS(shape.size() > 2 && shape[0] == 'u');
+  const auto dash = shape.find('-');
+  PLBHEC_EXPECTS(dash != std::string::npos);
+  std::size_t units = 0;
+  const auto [ptr, ec] = std::from_chars(
+      shape.data() + 1, shape.data() + dash, units);
+  PLBHEC_EXPECTS(ec == std::errc() && ptr == shape.data() + dash);
+  PLBHEC_EXPECTS(units >= 2);
+  const std::string het = shape.substr(dash + 1);
+  ShapeSpec spec;
+  spec.units = units;
+  if (het == "mild") {
+    spec.speed_spread = 1.5;
+    spec.link_spread = 1.2;
+  } else if (het == "extreme") {
+    spec.speed_spread = 12.0;
+    spec.link_spread = 8.0;
+  } else {
+    PLBHEC_EXPECTS(false && "unknown heterogeneity level");
+  }
+  return spec;
+}
+
+/// Log-uniform factor in [1/spread, spread].
+double spread_factor(Rng& rng, double spread) {
+  if (spread <= 1.0) return 1.0;
+  return std::exp(rng.uniform(-std::log(spread), std::log(spread)));
+}
+
+/// Doubles a workload's size knob from its paper-instance floor until the
+/// ideal equal-finish-time makespan reaches kTargetHorizon (weak scaling:
+/// bigger clusters get proportionally bigger instances, so per-unit work
+/// never degenerates into per-block latency noise).
+std::unique_ptr<rt::Workload> scale_to_horizon(
+    const sim::SimCluster& cluster,
+    const std::function<std::unique_ptr<rt::Workload>(std::size_t)>& make,
+    std::size_t floor_size) {
+  std::size_t size = floor_size;
+  auto workload = make(size);
+  for (int i = 0; i < 24; ++i) {
+    if (nominal_horizon(cluster, workload->profile(),
+                        workload->total_grains()) >= kTargetHorizon)
+      break;
+    size *= 2;
+    workload = make(size);
+  }
+  return workload;
+}
+
+}  // namespace
+
+std::string ScenarioCell::id() const {
+  return shape + "/" + workload + "/" + fault + "@" + std::to_string(seed);
+}
+
+std::optional<ScenarioCell> parse_cell_id(const std::string& id) {
+  const auto s1 = id.find('/');
+  if (s1 == std::string::npos) return std::nullopt;
+  const auto s2 = id.find('/', s1 + 1);
+  if (s2 == std::string::npos) return std::nullopt;
+  const auto at = id.find('@', s2 + 1);
+  if (at == std::string::npos) return std::nullopt;
+
+  ScenarioCell cell;
+  cell.shape = id.substr(0, s1);
+  cell.workload = id.substr(s1 + 1, s2 - s1 - 1);
+  cell.fault = id.substr(s2 + 1, at - s2 - 1);
+  const std::string seed_str = id.substr(at + 1);
+  const auto [ptr, ec] = std::from_chars(
+      seed_str.data(), seed_str.data() + seed_str.size(), cell.seed);
+  if (ec != std::errc() || ptr != seed_str.data() + seed_str.size())
+    return std::nullopt;
+
+  const auto known = [](const std::vector<std::string>& names,
+                        const std::string& value) {
+    return std::find(names.begin(), names.end(), value) != names.end();
+  };
+  if (!known(shape_names(), cell.shape) ||
+      !known(workload_names(), cell.workload) ||
+      !known(fault_names(), cell.fault))
+    return std::nullopt;
+  return cell;
+}
+
+const std::vector<std::string>& shape_names() {
+  static const std::vector<std::string> names = [] {
+    std::vector<std::string> out;
+    for (const int units : {2, 4, 8, 16, 32, 64, 128, 256}) {
+      for (const char* het : {"mild", "extreme"}) {
+        std::string name = "u";
+        name += std::to_string(units);
+        name += "-";
+        name += het;
+        out.push_back(std::move(name));
+      }
+    }
+    return out;
+  }();
+  return names;
+}
+
+const std::vector<std::string>& workload_names() {
+  static const std::vector<std::string> names{"regular", "irregular",
+                                              "mixed"};
+  return names;
+}
+
+const std::vector<std::string>& fault_names() {
+  static const std::vector<std::string> names{
+      "none",    "kill1",    "cascade", "freeze1",
+      "slowdown", "linkdeg", "partition1"};
+  return names;
+}
+
+const std::vector<std::string>& scheduler_names() {
+  static const std::vector<std::string> names{
+      "PLB-HeC", "HDSS", "Acosta", "Greedy", "StaticProfile"};
+  return names;
+}
+
+std::vector<ScenarioCell> full_grid(std::size_t seeds) {
+  PLBHEC_EXPECTS(seeds >= 1);
+  std::vector<ScenarioCell> cells;
+  for (const auto& shape : shape_names())
+    for (const auto& workload : workload_names())
+      for (const auto& fault : fault_names())
+        for (std::uint64_t seed = 1; seed <= seeds; ++seed)
+          cells.push_back({shape, workload, fault, seed});
+  return cells;
+}
+
+std::vector<ScenarioCell> smoke_grid() {
+  // Hand-picked so every shape, workload mix and fault script appears at
+  // least once, weighted toward small clusters (PR latency) with single
+  // 128- and 256-unit cells to keep the scale path exercised.
+  static const std::vector<std::string> ids{
+      "u2-mild/regular/none@1",
+      "u2-extreme/irregular/kill1@1",
+      "u4-mild/mixed/freeze1@1",
+      "u4-extreme/regular/slowdown@1",
+      "u8-mild/irregular/cascade@1",
+      "u8-extreme/mixed/partition1@1",
+      "u16-mild/regular/linkdeg@1",
+      "u16-extreme/irregular/freeze1@1",
+      "u16-mild/mixed/none@2",
+      "u32-mild/regular/kill1@1",
+      "u32-extreme/mixed/cascade@1",
+      "u32-mild/irregular/slowdown@2",
+      "u64-mild/irregular/none@1",
+      "u64-extreme/regular/partition1@1",
+      "u64-mild/mixed/linkdeg@1",
+      "u128-mild/regular/freeze1@1",
+      "u128-extreme/irregular/slowdown@1",
+      "u256-mild/mixed/kill1@1",
+      "u256-extreme/regular/none@1",
+      "u2-mild/irregular/partition1@2",
+  };
+  std::vector<ScenarioCell> cells;
+  for (const auto& id : ids) {
+    auto cell = parse_cell_id(id);
+    PLBHEC_ASSERT(cell.has_value());
+    cells.push_back(*cell);
+  }
+  return cells;
+}
+
+sim::SimCluster make_cluster(const std::string& shape, std::uint64_t seed) {
+  const ShapeSpec spec = parse_shape(shape);
+  Rng rng(fnv1a(shape) ^ (seed * 0x9e3779b97f4a7c15ULL));
+
+  std::vector<sim::MachineConfig> machines;
+  machines.reserve(spec.units);
+  for (std::size_t i = 0; i < spec.units; ++i) {
+    sim::MachineConfig machine;
+    machine.name = "m";
+    machine.name += std::to_string(i);
+    sim::UnitConfig unit;
+    const double speed = spread_factor(rng, spec.speed_spread);
+    const double link = spread_factor(rng, spec.link_spread);
+    sim::LinkModel net = sim::gigabit_ethernet();
+    net.bandwidth_bps *= link;
+
+    if (i % 2 == 0) {
+      sim::CpuModel::Params p;
+      p.name = machine.name + ".cpu";
+      p.cores = 8;
+      p.clock_ghz = 3.0 * speed;
+      unit.name = p.name;
+      unit.device = std::make_shared<sim::CpuModel>(p);
+      unit.path = net.then(sim::local_memory_bus());
+      machine.cpu_info = p.name;
+    } else {
+      sim::GpuModel::Params p;
+      p.name = machine.name + ".gpu";
+      p.sm_count = std::max<std::size_t>(
+          2, static_cast<std::size_t>(std::lround(16.0 * speed)));
+      p.cores = p.sm_count * 64;
+      p.clock_ghz = 1.2;
+      p.mem_bandwidth_bps = 200e9 * std::sqrt(speed);
+      unit.name = p.name;
+      unit.device = std::make_shared<sim::GpuModel>(p);
+      unit.path = net.then(sim::pcie2_x16());
+      machine.gpu_info = p.name;
+    }
+    machine.units.push_back(std::move(unit));
+    machines.push_back(std::move(machine));
+  }
+  return sim::SimCluster(machines);
+}
+
+std::unique_ptr<rt::Workload> make_workload(const std::string& mix,
+                                            const sim::SimCluster& cluster) {
+  const std::size_t units = cluster.size();
+  if (mix == "regular") {
+    // MatMul: uniform compute-bound grains (one output row each), linear
+    // in the block size — the regime every scheduler models well. The
+    // matrix order is the size knob (per-grain cost grows with n^2).
+    return scale_to_horizon(
+        cluster,
+        [](std::size_t n) {
+          return std::make_unique<apps::MatMulWorkload>(n);
+        },
+        /*floor_size=*/8192);
+  }
+  if (mix == "irregular") {
+    // GRN inference, exhaustive pair search: divergent integer kernels,
+    // nonlinear GPU saturation, per-grain cost growing with the gene
+    // count — the regime single-number weight models get wrong.
+    return scale_to_horizon(
+        cluster,
+        [](std::size_t genes) {
+          return std::make_unique<apps::GrnWorkload>(
+              apps::GrnWorkload::paper_instance(genes));
+        },
+        /*floor_size=*/30000);
+  }
+  if (mix == "mixed") {
+    // Monte-Carlo BlackScholes: a large portfolio of cheap grains whose
+    // per-grain cost is set by the path count — compute scales while the
+    // wire bytes per grain stay fixed, so compute/transfer balance shifts
+    // with the knob. Grain count grows mildly with the cluster; the path
+    // count is the doubling knob (memory stays O(options)).
+    const std::size_t options = std::max<std::size_t>(100'000, 500 * units);
+    return scale_to_horizon(
+        cluster,
+        [options](std::size_t paths) {
+          apps::BlackScholesWorkload::Config config =
+              apps::BlackScholesWorkload::paper_instance(options);
+          config.mc_paths = paths;
+          return std::make_unique<apps::BlackScholesWorkload>(config);
+        },
+        /*floor_size=*/512);
+  }
+  PLBHEC_EXPECTS(false && "unknown workload mix");
+  return nullptr;
+}
+
+double nominal_horizon(const sim::SimCluster& cluster,
+                       const sim::WorkloadProfile& profile,
+                       std::size_t total_grains) {
+  // Equal-finish-time bound: every unit processes its proportional share,
+  // T = 1 / sum(1 / t_u) with t_u the unit's whole-input time.
+  double inv_sum = 0.0;
+  for (const auto& unit : cluster.units()) {
+    const double t = unit.device->execution_seconds(
+        profile, static_cast<double>(total_grains));
+    PLBHEC_ASSERT(t > 0.0);
+    inv_sum += 1.0 / t;
+  }
+  return 1.0 / inv_sum;
+}
+
+FaultScript make_fault_script(const std::string& fault, std::size_t units,
+                              double horizon) {
+  PLBHEC_EXPECTS(units >= 2);
+  PLBHEC_EXPECTS(horizon > 0.0);
+  FaultScript script;
+  script.name = fault;
+  if (fault == "none") return script;
+  if (fault == "kill1") {
+    script.kill(units / 2, 0.25 * horizon);
+  } else if (fault == "cascade") {
+    // A QoS dip followed by a staggered loss of up to a quarter of the
+    // cluster (never unit 0, which keeps at least one unit alive).
+    script.slow_down(0, 0.15 * horizon, 0.5);
+    const std::size_t kills = std::max<std::size_t>(1, units / 4);
+    for (std::size_t i = 0; i < kills; ++i) {
+      const std::size_t victim = 1 + 2 * i;
+      if (victim >= units) break;
+      script.kill(victim, (0.20 + 0.08 * static_cast<double>(i)) * horizon);
+    }
+  } else if (fault == "freeze1") {
+    script.freeze(units - 1, 0.4 * horizon);
+  } else if (fault == "slowdown") {
+    for (std::size_t i = 0; i < units; i += 2)
+      script.slow_down(i, 0.3 * horizon, 0.35);
+  } else if (fault == "linkdeg") {
+    for (std::size_t i = 1; i < units; i += 2)
+      script.degrade_link(i, 0.25 * horizon, 2e-3, 0.2);
+  } else if (fault == "partition1") {
+    script.partition(0, 0.5 * horizon);
+  } else {
+    PLBHEC_EXPECTS(false && "unknown fault script");
+  }
+  return script;
+}
+
+CellResult run_cell(const ScenarioCell& cell) {
+  CellResult result;
+  result.cell = cell;
+
+  sim::SimCluster cluster = make_cluster(cell.shape, cell.seed);
+  result.units = cluster.size();
+  const std::unique_ptr<rt::Workload> sized =
+      make_workload(cell.workload, cluster);
+  const std::size_t total = sized->total_grains();
+  result.total_grains = total;
+  const double horizon =
+      nominal_horizon(cluster, sized->profile(), total);
+  const FaultScript script =
+      make_fault_script(cell.fault, cluster.size(), horizon);
+
+  // The static-profile baseline is deliberately *stale*: its weights come
+  // from profiling the regular (MatMul) reference on this cluster, the
+  // way a profile database would have been populated once and reused. On
+  // regular cells it is near-oracle; on irregular mixes and under
+  // mid-run faults its weights are wrong in exactly the way static
+  // profiling is wrong in practice.
+  const std::unique_ptr<rt::Workload> reference =
+      make_workload("regular", cluster);
+  const std::vector<double> static_weights = baselines::oracle_static_weights(
+      cluster, reference->profile(), reference->total_grains(),
+      reference->bytes_per_grain());
+
+  SimFaultTarget target(cluster);
+  const bool injected = inject(script, target);
+  PLBHEC_ASSERT(injected);
+
+  const std::uint64_t cell_hash = fnv1a(cell.id());
+
+  for (const auto& name : scheduler_names()) {
+    std::unique_ptr<rt::Scheduler> scheduler;
+    if (name == "PLB-HeC") {
+      // The engine's initial-block hint (total/512) ignores the unit
+      // count; at 128-256 units the 1,2,4,8 schedule then exhausts the
+      // 20% modeling budget in the first probe wave and fast units spin
+      // single-grain probes while the slowest finishes its mandatory
+      // rounds. Sizing the first probe per unit keeps the whole schedule
+      // inside the budget at every grid shape.
+      core::PlbHecOptions popts;
+      popts.initial_block =
+          std::max<std::size_t>(4, total / (64 * cluster.size()));
+      // Bounded preemption latency: under mid-run slow-downs the stale
+      // equal-time fractions would otherwise hand the degraded unit one
+      // huge tail block that becomes the whole cell's critical path.
+      // Capping a block's predicted duration keeps tail exposure to a
+      // fraction of the horizon; re-prediction after each completion then
+      // shrinks the slow unit's blocks instead of stranding grains on it.
+      popts.max_block_seconds = 0.5 * kTargetHorizon;
+      scheduler = std::make_unique<core::PlbHecScheduler>(popts);
+    } else if (name == "HDSS") {
+      scheduler = std::make_unique<baselines::HdssScheduler>();
+    } else if (name == "Acosta") {
+      scheduler = std::make_unique<baselines::AcostaScheduler>();
+    } else if (name == "Greedy") {
+      scheduler = std::make_unique<baselines::GreedyScheduler>();
+    } else {
+      scheduler =
+          std::make_unique<baselines::StaticProfileScheduler>(static_weights);
+    }
+
+    const std::unique_ptr<rt::Workload> workload =
+        make_workload(cell.workload, cluster);
+    rt::EngineOptions opts;
+    opts.seed = cell_hash;
+    opts.record_trace = false;
+    rt::SimEngine engine(cluster, opts);
+    const rt::RunResult run = engine.run(*workload, *scheduler);
+
+    SchedulerOutcome outcome;
+    outcome.scheduler = name;
+    outcome.ok = run.ok;
+    outcome.error = run.error;
+    outcome.makespan = run.makespan;
+    outcome.grains_completed = run.grains_completed;
+    outcome.grains_requeued = run.grains_requeued;
+    outcome.lost_grains =
+        run.ok ? total - std::min(total, run.grains_completed) : 0;
+    outcome.barriers = run.barriers;
+    for (const auto& stats : run.unit_stats)
+      if (stats.failed) ++outcome.failed_units;
+    if (const auto* plb = dynamic_cast<core::PlbHecScheduler*>(
+            scheduler.get())) {
+      outcome.rebalances = plb->stats().rebalances;
+      outcome.solves = plb->stats().solves;
+      outcome.probe_overhead =
+          plb->stats().modeling_grains / static_cast<double>(total);
+    }
+    result.outcomes.push_back(std::move(outcome));
+  }
+
+  const auto& outcomes = result.outcomes;
+  result.plb_makespan = outcomes[0].ok ? outcomes[0].makespan : 0.0;
+  double best = 0.0;
+  for (std::size_t i = 1; i < outcomes.size(); ++i) {
+    if (!outcomes[i].ok) continue;
+    if (best <= 0.0 || outcomes[i].makespan < best) {
+      best = outcomes[i].makespan;
+      result.best_baseline = outcomes[i].scheduler;
+    }
+  }
+  result.best_baseline_makespan = best;
+  if (outcomes[0].ok && best > 0.0) {
+    result.plb_vs_best = result.plb_makespan / best;
+    result.plb_win = result.plb_vs_best <= 1.0 + kTieTolerance;
+  }
+  result.grains_accounted = std::all_of(
+      outcomes.begin(), outcomes.end(), [total](const SchedulerOutcome& o) {
+        return o.ok && o.grains_completed == total && o.lost_grains == 0;
+      });
+  return result;
+}
+
+}  // namespace plbhec::chaos

@@ -1,0 +1,131 @@
+#pragma once
+/// \file scenario.hpp
+/// The scenario matrix: the cross-product of cluster shapes (2–256 units,
+/// mild to extreme heterogeneity), workload mixes (regular / irregular /
+/// mixed profile shapes) and fault scripts, each cell run for PLB-HeC and
+/// every baseline on the simulated executor. This is the large-scale
+/// counterpart of the paper's three-app, four-machine evaluation: the
+/// regime where scheduler rankings flip with cluster shape and workload
+/// irregularity, which a single-scenario bench gate cannot see.
+///
+/// Everything is deterministic per cell id: the cluster, the workload, the
+/// fault script and the engine noise streams are all derived from the
+/// cell's (shape, workload, fault, seed) tuple, so any cell replays
+/// bit-identically from its id alone — `bench/matrix --cell '<id>'` — and
+/// CI failures can name the exact cell to reproduce.
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "plbhec/chaos/fault.hpp"
+#include "plbhec/rt/workload.hpp"
+#include "plbhec/sim/cluster.hpp"
+#include "plbhec/sim/workload_profile.hpp"
+
+namespace plbhec::chaos {
+
+/// PLB-HeC wins a cell when its makespan is within this fraction of the
+/// best baseline's (ties caused by FP noise must not flip the win bit).
+inline constexpr double kTieTolerance = 0.02;
+
+/// Cell coordinates. The id round-trips: parse_cell_id(c.id()) == c.
+struct ScenarioCell {
+  std::string shape;     ///< e.g. "u16-mild" (see shape_names())
+  std::string workload;  ///< "regular" | "irregular" | "mixed"
+  std::string fault;     ///< see fault_names()
+  std::uint64_t seed = 1;
+
+  [[nodiscard]] std::string id() const;
+  bool operator==(const ScenarioCell&) const = default;
+};
+
+/// "u<N>-<het>/<workload>/<fault>@<seed>" -> cell; nullopt on malformed
+/// ids or names outside the registries.
+[[nodiscard]] std::optional<ScenarioCell> parse_cell_id(
+    const std::string& id);
+
+/// The grid axes. Shapes are "u<units>-<heterogeneity>" with units in
+/// {2, 4, 8, 16, 32, 64, 128, 256} and heterogeneity mild (unit speeds
+/// within ~2x of each other) or extreme (~2 orders of magnitude spread,
+/// slow edge links — the regime where single-number weight models break).
+[[nodiscard]] const std::vector<std::string>& shape_names();
+[[nodiscard]] const std::vector<std::string>& workload_names();
+[[nodiscard]] const std::vector<std::string>& fault_names();
+[[nodiscard]] const std::vector<std::string>& scheduler_names();
+
+/// The full cross-product, `seeds` seeds per coordinate (nightly CI).
+[[nodiscard]] std::vector<ScenarioCell> full_grid(std::size_t seeds = 1);
+/// Deterministic ~20-cell subset covering every axis value at least once
+/// (the per-PR smoke gate).
+[[nodiscard]] std::vector<ScenarioCell> smoke_grid();
+
+// ---- Cell ingredients (exposed for tests) --------------------------------
+
+/// Instance sizes are weak-scaled: each workload's size knob doubles from
+/// its paper-instance floor until the ideal equal-finish-time makespan
+/// reaches this horizon, so per-unit work stays substantive (and probing
+/// amortizable) at every cluster size instead of shrinking toward
+/// per-block latency noise at 256 units.
+inline constexpr double kTargetHorizon = 1.0;
+
+/// Deterministic cluster for a shape name; aborts on unknown shapes.
+[[nodiscard]] sim::SimCluster make_cluster(const std::string& shape,
+                                           std::uint64_t seed);
+/// The paper's applications as grid workload mixes: "regular" = MatMul
+/// (uniform compute-bound grains), "irregular" = GRN inference (divergent
+/// pair search, nonlinear GPU curves), "mixed" = Monte-Carlo BlackScholes
+/// (cheap grains in bulk, bandwidth-sensitive). The instance is
+/// weak-scaled to the cluster per kTargetHorizon; deterministic per
+/// (mix, cluster). Aborts on unknown names.
+[[nodiscard]] std::unique_ptr<rt::Workload> make_workload(
+    const std::string& mix, const sim::SimCluster& cluster);
+/// Equal-finish-time estimate of the cell's makespan (noise-free); fault
+/// scripts key their event times on fractions of this horizon.
+[[nodiscard]] double nominal_horizon(const sim::SimCluster& cluster,
+                                     const sim::WorkloadProfile& profile,
+                                     std::size_t total_grains);
+/// Named fault script for a cluster of `units` units and horizon `T`;
+/// aborts on unknown names. Scripts never demote every unit.
+[[nodiscard]] FaultScript make_fault_script(const std::string& fault,
+                                            std::size_t units, double horizon);
+
+// ---- Running a cell ------------------------------------------------------
+
+/// One scheduler's row entry in a cell.
+struct SchedulerOutcome {
+  std::string scheduler;
+  bool ok = false;
+  std::string error;
+  double makespan = 0.0;
+  std::size_t grains_completed = 0;
+  std::size_t grains_requeued = 0;  ///< in-flight grains faults bounced
+  /// total_grains - grains_completed on a finished run: the gate's
+  /// "lost grain" — work that silently vanished. Always 0 on ok runs.
+  std::size_t lost_grains = 0;
+  std::size_t failed_units = 0;
+  std::size_t barriers = 0;
+  std::size_t rebalances = 0;      ///< PLB-HeC only
+  std::size_t solves = 0;          ///< PLB-HeC only
+  double probe_overhead = 0.0;     ///< PLB-HeC modeling grains / total
+};
+
+struct CellResult {
+  ScenarioCell cell;
+  std::size_t units = 0;
+  std::size_t total_grains = 0;
+  std::vector<SchedulerOutcome> outcomes;  ///< scheduler_names() order
+  double plb_makespan = 0.0;
+  double best_baseline_makespan = 0.0;
+  std::string best_baseline;
+  double plb_vs_best = 0.0;  ///< plb_makespan / best_baseline_makespan
+  bool plb_win = false;      ///< plb <= best * (1 + kTieTolerance)
+  bool grains_accounted = false;  ///< every scheduler finished every grain
+};
+
+/// Runs every scheduler on the cell. Bit-deterministic per cell id.
+[[nodiscard]] CellResult run_cell(const ScenarioCell& cell);
+
+}  // namespace plbhec::chaos

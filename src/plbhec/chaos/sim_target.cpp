@@ -1,0 +1,22 @@
+#include "plbhec/chaos/sim_target.hpp"
+
+namespace plbhec::chaos {
+
+void SimFaultTarget::deliver(const FaultEvent& event) {
+  switch (event.kind) {
+    case FaultKind::kKill:
+    case FaultKind::kFreeze:
+    case FaultKind::kPartition:
+      cluster_.fail_unit(event.unit, event.time_s);
+      break;
+    case FaultKind::kSlowDown:
+      cluster_.add_speed_event(event.unit, event.time_s, event.factor);
+      break;
+    case FaultKind::kLinkDegrade:
+      cluster_.add_link_event(event.unit, event.time_s,
+                              event.extra_latency_s, event.factor);
+      break;
+  }
+}
+
+}  // namespace plbhec::chaos

@@ -1,0 +1,36 @@
+#pragma once
+/// \file sim_target.hpp
+/// FaultTarget over the simulated cluster. Delivery is pre-registration:
+/// every event lands on the SimCluster's virtual timeline (speed / link
+/// event lists) before the engine runs, so a whole script is injected with
+/// one chaos::inject() call and the run is bit-deterministic per seed.
+///
+/// Kind mapping (the scheduler-visible contract of fault.hpp):
+///  * kill / freeze / partition -> a speed-0 event, which SimEngine turns
+///    into a permanent failure + on_unit_failed at exactly that virtual
+///    time. The three detection mechanisms of the real transport collapse
+///    to one in virtual time — deliberately, since the scheduler cannot
+///    tell them apart either.
+///  * slow-down -> a speed event with the given factor.
+///  * link-degrade -> a link event (extra latency, scaled bandwidth).
+
+#include "plbhec/chaos/fault.hpp"
+#include "plbhec/sim/cluster.hpp"
+
+namespace plbhec::chaos {
+
+class SimFaultTarget final : public FaultTarget {
+ public:
+  explicit SimFaultTarget(sim::SimCluster& cluster) : cluster_(cluster) {}
+
+  [[nodiscard]] std::size_t unit_count() const override {
+    return cluster_.size();
+  }
+  [[nodiscard]] bool supports(FaultKind) const override { return true; }
+  void deliver(const FaultEvent& event) override;
+
+ private:
+  sim::SimCluster& cluster_;
+};
+
+}  // namespace plbhec::chaos

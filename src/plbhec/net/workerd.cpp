@@ -79,6 +79,7 @@ struct WorkerDaemon::ConnState {
 WorkerDaemon::WorkerDaemon(WorkerDaemonOptions options)
     : options_(std::move(options)) {
   PLBHEC_EXPECTS(options_.slowdown >= 1.0);
+  slowdown_.store(options_.slowdown, std::memory_order_relaxed);
   listener_ = TcpListener::bind_loopback(options_.port);
   PLBHEC_ASSERT(listener_ != nullptr);
   epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
@@ -625,16 +626,22 @@ void WorkerDaemon::run_task(const std::shared_ptr<ConnState>& state,
   wake();
 }
 
+void WorkerDaemon::set_slowdown(double slowdown) {
+  PLBHEC_EXPECTS(slowdown >= 1.0);
+  slowdown_.store(slowdown, std::memory_order_relaxed);
+}
+
 /// Heterogeneity emulation: pads a measured kernel to `slowdown` times
 /// its length. Unlike the old busy-stretch (a yield spin), this is a
 /// timed condition wait — the same wall clock the G_p/F_p fits see,
 /// without burning an executor lane, and kill()/stop() interrupt it.
 void WorkerDaemon::stretch_interruptible(double measured_seconds) {
-  if (options_.slowdown <= 1.0) return;
+  const double slowdown = slowdown_.load(std::memory_order_relaxed);
+  if (slowdown <= 1.0) return;
   const auto deadline =
       Clock::now() + std::chrono::duration_cast<Clock::duration>(
                          std::chrono::duration<double>(
-                             measured_seconds * (options_.slowdown - 1.0)));
+                             measured_seconds * (slowdown - 1.0)));
   std::unique_lock lock(exec_mutex_);
   exec_cv_.wait_until(lock, deadline, [&] {
     return stopping_.load(std::memory_order_acquire);

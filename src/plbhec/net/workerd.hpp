@@ -90,6 +90,15 @@ class WorkerDaemon {
   void freeze();
   void unfreeze();
 
+  /// Changes the heterogeneity stretch at runtime (>= 1.0). Chaos scripts
+  /// deliver QoS-degradation events through this: blocks started after the
+  /// call are padded to the new factor, which the coordinator observes as
+  /// the unit's performance curve drifting — no demotion involved.
+  void set_slowdown(double slowdown);
+  [[nodiscard]] double slowdown() const {
+    return slowdown_.load(std::memory_order_relaxed);
+  }
+
   /// Profiles pushed by coordinators via ProfileSync, merged.
   [[nodiscard]] svc::ProfileStore profiles() const;
 
@@ -154,6 +163,7 @@ class WorkerDaemon {
 
   std::atomic<bool> stopping_{false};
   std::atomic<bool> frozen_{false};
+  std::atomic<double> slowdown_{1.0};  ///< live stretch factor (see above)
   std::atomic<bool> counters_published_{false};
   std::atomic<std::uint64_t> blocks_served_{0};
   std::atomic<std::uint64_t> connections_accepted_{0};

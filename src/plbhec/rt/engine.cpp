@@ -118,7 +118,7 @@ RunResult SimEngine::run(Workload& workload, Scheduler& scheduler) {
 
     const double bytes = static_cast<double>(grains) * work.bytes_per_grain;
     const double transfer_s = options_.noise.perturb_transfer(
-        su.path.transfer_seconds(bytes), unit_rng[unit]);
+        su.link_at(now).transfer_seconds(bytes), unit_rng[unit]);
     const double speed = su.speed_factor(now);
     PLBHEC_ASSERT(speed > 0.0);
     const double exec_s = options_.noise.perturb_exec(
@@ -199,6 +199,7 @@ RunResult SimEngine::run(Workload& workload, Scheduler& scheduler) {
       dead[ev.unit] = true;
       result.unit_stats[ev.unit].failed = true;
       lost_grains += task.grains;  // work lost with the unit
+      result.grains_requeued += task.grains;
       PLBHEC_OBS_RECORD(sink, {now, obs::EventKind::kUnitFailed,
                                static_cast<std::uint32_t>(ev.unit), 0.0, 0.0,
                                task.grains, 0});
@@ -237,6 +238,7 @@ RunResult SimEngine::run(Workload& workload, Scheduler& scheduler) {
   }
 
   result.makespan = now;
+  result.grains_completed = completed;
   result.ok = true;
   return result;
 }

@@ -49,6 +49,13 @@ struct RunResult {
   std::string error;
   double makespan = 0.0;          ///< virtual seconds until the last grain
   std::size_t total_grains = 0;
+  std::size_t grains_completed = 0;  ///< grains that actually finished
+  /// Grains that were in flight on a unit when it failed and had to be
+  /// returned to the pool. A successful run re-executes them elsewhere, so
+  /// ok && grains_completed == total_grains even when this is > 0; the
+  /// chaos gate's "zero lost-grain violations" means exactly that identity,
+  /// not that no fault ever interrupted a block.
+  std::size_t grains_requeued = 0;
   std::size_t barriers = 0;       ///< number of scheduler barriers reached
   std::vector<UnitInfo> units;
   std::vector<UnitStats> unit_stats;

@@ -138,6 +138,7 @@ RunResult ThreadEngine::run(Workload& workload, Scheduler& scheduler) {
     if (lost.end > lost.begin) {
       requeued.push_back(lost);
       unassigned += lost.end - lost.begin;
+      result.grains_requeued += lost.end - lost.begin;
     }
     detached_[unit] = 1;
     --active;
@@ -287,6 +288,7 @@ RunResult ThreadEngine::run(Workload& workload, Scheduler& scheduler) {
   workers_->run(worker_body);
 
   result.makespan = seconds_since(t0);
+  result.grains_completed = completed;
   result.ok = !failed;
   result.error = error;
   return result;

@@ -17,6 +17,19 @@ double SimUnit::speed_factor(double t) const {
   return factor;
 }
 
+LinkModel SimUnit::link_at(double t) const {
+  const LinkEvent* active = nullptr;
+  for (const auto& e : link_events) {
+    if (e.time_s <= t)
+      active = &e;
+    else
+      break;
+  }
+  if (active == nullptr) return path;
+  return LinkModel{path.latency_s + active->extra_latency_s,
+                   path.bandwidth_bps * active->bandwidth_factor};
+}
+
 std::optional<double> SimUnit::failure_time() const {
   for (const auto& e : speed_events)
     if (e.factor <= 0.0) return e.time_s;
@@ -54,6 +67,20 @@ void SimCluster::add_speed_event(std::size_t i, double time_s, double factor) {
   events.push_back({time_s, factor});
   std::sort(events.begin(), events.end(),
             [](const SpeedEvent& a, const SpeedEvent& b) {
+              return a.time_s < b.time_s;
+            });
+}
+
+void SimCluster::add_link_event(std::size_t i, double time_s,
+                                double extra_latency_s,
+                                double bandwidth_factor) {
+  PLBHEC_EXPECTS(i < units_.size());
+  PLBHEC_EXPECTS(extra_latency_s >= 0.0);
+  PLBHEC_EXPECTS(bandwidth_factor > 0.0);
+  auto& events = units_[i].link_events;
+  events.push_back({time_s, extra_latency_s, bandwidth_factor});
+  std::sort(events.begin(), events.end(),
+            [](const LinkEvent& a, const LinkEvent& b) {
               return a.time_s < b.time_s;
             });
 }

@@ -21,6 +21,16 @@ struct SpeedEvent {
   double factor = 1.0;
 };
 
+/// A step change of a unit's master-to-device path at a given simulated
+/// time, expressed relative to the nominal path (last event <= t wins, and
+/// events do not compound): extra latency is added, bandwidth is scaled.
+/// bandwidth_factor 1.0 + extra_latency_s 0.0 restores the nominal link.
+struct LinkEvent {
+  double time_s = 0.0;
+  double extra_latency_s = 0.0;
+  double bandwidth_factor = 1.0;
+};
+
 /// Runtime state of one simulated processing unit.
 struct SimUnit {
   std::string name;
@@ -28,9 +38,13 @@ struct SimUnit {
   std::shared_ptr<const DeviceModel> device;
   LinkModel path;
   std::vector<SpeedEvent> speed_events;  ///< sorted by time
+  std::vector<LinkEvent> link_events;    ///< sorted by time
 
   /// Effective speed factor at simulated time `t` (last event <= t wins).
   [[nodiscard]] double speed_factor(double t) const;
+  /// Effective master-to-device path at simulated time `t`: the nominal
+  /// `path` adjusted by the last link event at or before `t`, if any.
+  [[nodiscard]] LinkModel link_at(double t) const;
   /// True when speed_factor(t) == 0 (unit failed / withdrawn).
   [[nodiscard]] bool failed_at(double t) const {
     return speed_factor(t) <= 0.0;
@@ -50,6 +64,11 @@ class SimCluster {
 
   /// Registers a speed change (QoS event) for unit `i`.
   void add_speed_event(std::size_t i, double time_s, double factor);
+  /// Registers a link change for unit `i` from `time_s` on: `extra_latency_s`
+  /// is added to the nominal path latency and the nominal bandwidth is
+  /// multiplied by `bandwidth_factor` (> 0).
+  void add_link_event(std::size_t i, double time_s, double extra_latency_s,
+                      double bandwidth_factor);
   /// Registers a permanent failure of unit `i` at `time_s`.
   void fail_unit(std::size_t i, double time_s) {
     add_speed_event(i, time_s, 0.0);

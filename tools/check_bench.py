@@ -45,6 +45,20 @@ the cold run on the same trace, independent of the baseline.
 beat the synchronous protocol by at least 25% on the machine running
 the gate, not merely stay in the baseline's neighborhood.
 
+``bench_matrix`` JSONs (the scenario-grid chaos harness) additionally
+pass through :class:`WinRateGate`, which is *absolute* rather than
+baseline-relative: ``win_rate`` (the fraction of grid cells where
+PLB-HeC beats or ties the best of the four baselines) must stay at or
+above 0.40, ``lost_grain_violations`` must be exactly 0 -- a fault
+script may requeue work but must never lose a grain -- and
+``replay_identical`` must be true (the harness re-runs its first cell
+from the cell id alone and byte-compares the row). When the gate
+fails it prints the exact replay command for every offending cell
+(``./build/bench/bench_matrix --cell '<id>'``) so the failure
+reproduces locally from the CI log alone. Per-cell makespans are
+deterministic per build but drift across compilers, so they are not
+identity-checked; the cell ids, grid shape and scheduler roster are.
+
 Identity keys (``n``, ``samples``, ``lanes``, ``units``, ...) and the
 overall JSON structure must match exactly, so a silently shrunk sweep
 also fails the gate. For bench_service the arrival trace itself is
@@ -103,6 +117,66 @@ ABS_CEIL_GATES = {
     "pipelined_vs_sync_makespan_ratio": 0.75,
     "warm_vs_cold_makespan_ratio": 1.05,
 }
+class WinRateGate:
+    """Absolute gate for bench_matrix (scenario-grid chaos harness) JSONs.
+
+    Unlike the drift gates above, nothing here is relative to the
+    committed baseline: the grid's claims hold on every machine or the
+    gate fails. Three clauses:
+
+    * ``win_rate >= FLOOR`` -- PLB-HeC beats-or-ties the best baseline
+      on at least this fraction of grid cells (committed smoke baseline
+      sits at 0.45; the floor leaves one cell of cross-compiler slack).
+    * ``lost_grain_violations == 0`` and every row's ``lost_grains == 0``
+      -- faults may requeue in-flight work, never lose it.
+    * ``replay_identical`` is true -- the harness's own proof that a
+      cell re-run from its id reproduces its row byte-for-byte.
+
+    Every offending cell's replay command is printed so a CI failure
+    reproduces locally with one copy-paste.
+    """
+
+    FLOOR = 0.40
+
+    @staticmethod
+    def _replay(row):
+        return row.get("replay", "./build/bench/bench_matrix --cell '%s'"
+                       % row.get("cell", "?"))
+
+    def check(self, doc, errors):
+        rows = doc.get("rows")
+        missing = [k for k in ("win_rate", "lost_grain_violations",
+                               "replay_identical", "rows")
+                   if k not in doc]
+        if missing or not isinstance(rows, list):
+            fail(errors, "bench_matrix",
+                 f"summary keys missing or malformed: {missing or 'rows'}")
+            return
+        if doc["lost_grain_violations"] != 0:
+            fail(errors, "bench_matrix",
+                 f"{doc['lost_grain_violations']} lost-grain violation(s)")
+        for row in rows:
+            if row.get("lost_grains", 0) != 0:
+                fail(errors, f"bench_matrix.{row.get('cell', '?')}",
+                     f"{row['lost_grains']} grain(s) lost; replay: "
+                     f"{self._replay(row)}")
+        if not doc["replay_identical"]:
+            fail(errors, "bench_matrix",
+                 "replay_identical is false: a cell re-run from its id "
+                 "diverged from its row; replay: " +
+                 (self._replay(rows[0]) if rows else "?"))
+        if doc["win_rate"] < self.FLOOR:
+            fail(errors, "bench_matrix",
+                 f"win_rate {doc['win_rate']:.2f} below absolute floor "
+                 f"{self.FLOOR:.2f}; losing cells:")
+            for row in rows:
+                if not row.get("plb_win", False):
+                    fail(errors, f"bench_matrix.{row.get('cell', '?')}",
+                         f"plb/best={row.get('plb_vs_best', float('nan')):.3f}"
+                         f" vs {row.get('best_baseline', '?')}; replay: "
+                         f"{self._replay(row)}")
+
+
 # Machine-dependent values: type-checked only.
 IGNORED_SUFFIXES = ("_us", "gflops")
 IGNORED_KEYS = {"hardware_concurrency", "reps", "genes", "events"}
@@ -120,7 +194,13 @@ IDENTITY_KEYS = {"n", "samples", "lanes", "units", "samples_per_unit",
                  "pipeline_chunk_grains", "pipeline_grains_exact",
                  "pipeline_bit_identical", "pipeline_demoted",
                  "pipeline_lost_grains",
-                 "pipeline_kill_executed_grains"}
+                 "pipeline_kill_executed_grains",
+                 # bench_matrix grid identity: the cells themselves, the
+                 # grid shape and the scheduler roster may not silently
+                 # change (makespans and win bits may drift; the absolute
+                 # WinRateGate below owns those).
+                 "cell", "cells", "mode", "schedulers", "tie_tolerance",
+                 "total_grains", "replay"}
 
 
 def fail(errors, path, message):
@@ -196,6 +276,35 @@ def compare(base, fresh, path, errors):
     # Unknown numeric/string key: tolerated, so adding new fields to a
     # bench JSON does not require touching this gate (removing fields
     # still fails the structural check above).
+
+
+def check_pair(base, fresh, label):
+    """Full gate for one baseline/fresh pair: structural + drift
+    compare, plus the absolute WinRateGate for bench_matrix JSONs.
+    Returns the list of violation messages (empty = pass)."""
+    errors = []
+    compare(base, fresh, label, errors)
+    if fresh.get("benchmark") == "bench_matrix":
+        WinRateGate().check(fresh, errors)
+    return errors
+
+
+def load_json(path, role):
+    """Loads one bench JSON, or returns (None, message) naming the exact
+    file and the likely cause -- a missing fresh file usually means the
+    bench binary crashed before writing its output."""
+    try:
+        with open(path) as f:
+            return json.load(f), None
+    except FileNotFoundError:
+        hint = ("was it committed to bench/results/?" if role == "baseline"
+                else "did the bench binary run and write its --out file?")
+        return None, f"{role} JSON missing: {path} ({hint})"
+    except OSError as exc:
+        return None, f"cannot read {role} JSON {path}: {exc}"
+    except json.JSONDecodeError as exc:
+        return None, (f"{role} JSON unparseable: {path}: {exc} "
+                      "(truncated write or non-JSON output?)")
 
 
 def self_test():
@@ -304,20 +413,90 @@ def self_test():
         ("shrunk 10k trace fails", variant(trace10k_jobs=1000), True),
         ("changed shard count fails", variant(trace10k_shards=1), True),
     ]
+    # bench_matrix cases exercise the absolute WinRateGate on top of the
+    # structural compare, via the same check_pair() entry point main uses.
+    def matrix_row(cell, win, vs_best, lost=0):
+        return {"cell": cell, "units": 4, "total_grains": 8192,
+                "plb_win": win, "plb_vs_best": vs_best,
+                "best_baseline": "HDSS", "lost_grains": lost,
+                "grains_requeued": 0, "failed_units": 0, "rebalances": 1,
+                "solves": 3, "probe_overhead": 0.11,
+                "makespan_plb_hec_s": 1.0 * vs_best,
+                "makespan_hdss_s": 1.0,
+                "replay": f"./build/bench/bench_matrix --cell '{cell}'"}
+
+    matrix_base = {
+        "benchmark": "bench_matrix", "mode": "smoke",
+        "schedulers": "PLB-HeC,HDSS,Acosta,Greedy,StaticProfile",
+        "cells": 2, "tie_tolerance": 0.02, "wins": 1, "win_rate": 0.5,
+        "lost_grain_violations": 0, "replay_identical": True,
+        "rows": [matrix_row("u4-mild/regular/none@1", True, 0.97),
+                 matrix_row("u8-extreme/mixed/kill1@1", False, 1.1)],
+    }
+
+    def matrix_variant(rows=None, **overrides):
+        fresh = dict(matrix_base)
+        if rows is not None:
+            fresh["rows"] = rows
+        fresh.update(overrides)
+        return fresh
+
+    matrix_cases = [
+        ("identical matrix passes", matrix_variant(), False),
+        ("makespan drift in a row passes",
+         matrix_variant(rows=[matrix_row("u4-mild/regular/none@1", True,
+                                         0.99),
+                              matrix_base["rows"][1]]), False),
+        ("win_rate above absolute floor passes even below baseline",
+         matrix_variant(wins=1, win_rate=0.45), False),
+        ("win_rate below 0.40 floor fails",
+         matrix_variant(wins=0, win_rate=0.3,
+                        rows=[matrix_row("u4-mild/regular/none@1", False,
+                                         1.05),
+                              matrix_base["rows"][1]]), True),
+        ("lost-grain violation count fails",
+         matrix_variant(lost_grain_violations=1), True),
+        ("per-row lost grain fails",
+         matrix_variant(rows=[matrix_base["rows"][0],
+                              matrix_row("u8-extreme/mixed/kill1@1", False,
+                                         1.1, lost=3)]), True),
+        ("diverged cell replay fails",
+         matrix_variant(replay_identical=False), True),
+        ("renamed cell fails identity",
+         matrix_variant(rows=[matrix_row("u4-extreme/regular/none@1", True,
+                                         0.97),
+                              matrix_base["rows"][1]]), True),
+        ("shrunk grid fails structurally",
+         matrix_variant(rows=[matrix_base["rows"][0]]), True),
+        ("changed scheduler roster fails identity",
+         matrix_variant(schedulers="PLB-HeC,HDSS"), True),
+        ("loosened tie tolerance fails identity",
+         matrix_variant(tie_tolerance=0.1), True),
+    ]
+
     failures = 0
-    for label, fresh, must_flag in cases:
-        errors = []
-        compare(baseline, fresh, "self-test", errors)
-        flagged = bool(errors)
-        status = "ok" if flagged == must_flag else "FAIL"
-        if flagged != must_flag:
-            failures += 1
-        print(f"  {status}: {label} (flagged={flagged}, "
-              f"expected={must_flag})")
+    for table, base_doc in ((cases, baseline), (matrix_cases, matrix_base)):
+        for label, fresh, must_flag in table:
+            flagged = bool(check_pair(base_doc, fresh, "self-test"))
+            status = "ok" if flagged == must_flag else "FAIL"
+            if flagged != must_flag:
+                failures += 1
+            print(f"  {status}: {label} (flagged={flagged}, "
+                  f"expected={must_flag})")
+
+    # The missing-file path must fail loudly, not crash.
+    rc = main(["check_bench.py", "/nonexistent-baseline.json",
+               "/nonexistent-fresh.json"])
+    status = "ok" if rc == 1 else "FAIL"
+    if rc != 1:
+        failures += 1
+    print(f"  {status}: missing bench JSON exits 1 (rc={rc})")
+
+    total = len(cases) + len(matrix_cases) + 1
     if failures:
         print(f"self-test FAILED ({failures} case(s))")
         return 1
-    print(f"self-test OK ({len(cases)} cases)")
+    print(f"self-test OK ({total} cases)")
     return 0
 
 
@@ -330,17 +509,16 @@ def main(argv):
     failures = 0
     for i in range(1, len(argv), 2):
         base_path, fresh_path = argv[i], argv[i + 1]
-        try:
-            with open(base_path) as f:
-                base = json.load(f)
-            with open(fresh_path) as f:
-                fresh = json.load(f)
-        except (OSError, json.JSONDecodeError) as exc:
-            print(f"FAIL {base_path} vs {fresh_path}: {exc}")
+        base, base_err = load_json(base_path, "baseline")
+        fresh, fresh_err = load_json(fresh_path, "fresh")
+        if base_err or fresh_err:
+            print(f"FAIL {base_path} vs {fresh_path}:")
+            for err in (base_err, fresh_err):
+                if err:
+                    print(f"  {err}")
             failures += 1
             continue
-        errors = []
-        compare(base, fresh, base.get("benchmark", base_path), errors)
+        errors = check_pair(base, fresh, base.get("benchmark", base_path))
         if errors:
             print(f"FAIL {fresh_path} regressed against {base_path}:")
             print("\n".join(errors))
