@@ -1,5 +1,6 @@
 // Open-loop service benchmark: replays a fixed-seed Poisson arrival trace
-// of mixed matmul / Black-Scholes / GRN jobs through the multi-tenant
+// of mixed matmul / Black-Scholes / GRN / SpMV / stencil jobs through the
+// multi-tenant
 // JobManager twice against the same on-disk ProfileStore -- once cold
 // (store file absent) and once warm (store populated by the cold run) --
 // and reports per-job stretch vs running alone, queue wait, utilization
@@ -33,6 +34,8 @@
 #include "plbhec/apps/blackscholes.hpp"
 #include "plbhec/apps/grn.hpp"
 #include "plbhec/apps/matmul.hpp"
+#include "plbhec/apps/spmv.hpp"
+#include "plbhec/apps/stencil.hpp"
 #include "plbhec/apps/synthetic.hpp"
 #include "plbhec/common/rng.hpp"
 #include "plbhec/obs/counters.hpp"
@@ -64,6 +67,14 @@ std::vector<KindTemplate> kind_pool() {
   pool.push_back({"grn-10k", [] {
                     return std::make_unique<apps::GrnWorkload>(
                         apps::GrnWorkload::paper_instance(10'000));
+                  }});
+  pool.push_back({"spmv-200k", [] {
+                    return std::make_unique<apps::SpmvWorkload>(
+                        apps::SpmvWorkload::paper_instance(200'000));
+                  }});
+  pool.push_back({"stencil-100k", [] {
+                    return std::make_unique<apps::StencilWorkload>(
+                        apps::StencilWorkload::paper_instance(100'000));
                   }});
   return pool;
 }

@@ -6,6 +6,9 @@
 #include "plbhec/apps/blackscholes.hpp"
 #include "plbhec/apps/grn.hpp"
 #include "plbhec/apps/matmul.hpp"
+#include "plbhec/apps/nbody.hpp"
+#include "plbhec/apps/spmv.hpp"
+#include "plbhec/apps/stencil.hpp"
 #include "plbhec/apps/synthetic.hpp"
 
 namespace plbhec::apps {
@@ -88,6 +91,40 @@ std::unique_ptr<rt::Workload> make_workload(const std::string& spec,
         cfg.samples > 65'536 || cfg.pair_window == 0)
       return fail(error, "grn: parameters out of range");
     return std::make_unique<GrnWorkload>(cfg);
+  }
+  if (name == "spmv") {
+    SpmvWorkload::Config cfg;
+    cfg.rows = static_cast<std::size_t>(get("rows", 0));
+    cfg.nnz_per_row = static_cast<std::size_t>(get("nnz", 32));
+    cfg.seed = get("seed", 0x59a125);
+    cfg.materialize = true;
+    // The degree skew multiplies hub rows by 6; cap mean degree so total
+    // nonzeros stay comfortably inside 32-bit offsets.
+    if (cfg.rows == 0 || cfg.rows > kMaxRemoteGrains ||
+        cfg.nnz_per_row == 0 || cfg.nnz_per_row > 256)
+      return fail(error, "spmv: parameters out of range");
+    return std::make_unique<SpmvWorkload>(cfg);
+  }
+  if (name == "stencil") {
+    StencilWorkload::Config cfg;
+    cfg.nx = static_cast<std::size_t>(get("nx", 512));
+    cfg.ny = static_cast<std::size_t>(get("ny", 0));
+    cfg.seed = get("seed", 0x57e4c11);
+    cfg.materialize = true;
+    if (cfg.nx == 0 || cfg.nx > 16'384 || cfg.ny == 0 ||
+        cfg.ny > kMaxRemoteGrains)
+      return fail(error, "stencil: parameters out of range");
+    return std::make_unique<StencilWorkload>(cfg);
+  }
+  if (name == "nbody") {
+    NbodyWorkload::Config cfg;
+    cfg.bodies = static_cast<std::size_t>(get("bodies", 0));
+    cfg.seed = get("seed", 0xb0d1e5);
+    cfg.materialize = true;
+    // O(n^2) per sweep: keep real instances at validation scale.
+    if (cfg.bodies == 0 || cfg.bodies > 262'144)
+      return fail(error, "nbody: bodies out of range");
+    return std::make_unique<NbodyWorkload>(cfg);
   }
   if (name == "synthetic") {
     SyntheticWorkload::Config cfg;

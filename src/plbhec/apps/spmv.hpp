@@ -1,0 +1,85 @@
+#pragma once
+/// \file spmv.hpp
+/// CSR sparse matrix-vector product over a deterministic synthetic graph
+/// (the irregular, bandwidth-bound family; cf. the sparse-distribution
+/// study in PAPERS.md). A grain is one matrix row: y[i] = A[i,:] * x. Row
+/// degrees are deliberately skewed — most rows carry ~nnz_per_row entries
+/// but a deterministic minority are hubs with several times the mean — so
+/// per-grain cost is non-uniform and the x-gather has no locality. The
+/// row kernel itself is resolved through the kdisp registry (scalar /
+/// AVX2-gather variants, bit-identical by contract).
+///
+/// In real mode the CSR arrays, x and y are materialized from the seed;
+/// in simulated runs only the cost profile matters.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "plbhec/rt/workload.hpp"
+
+namespace plbhec::apps {
+
+class SpmvWorkload final : public rt::Workload {
+ public:
+  struct Config {
+    std::size_t rows = 100'000;     ///< matrix rows (grains)
+    std::size_t nnz_per_row = 32;   ///< mean nonzeros per row
+    bool materialize = false;       ///< allocate the real CSR arrays
+    std::uint64_t seed = 0x59a125;
+  };
+
+  explicit SpmvWorkload(Config config);
+
+  /// Web-graph-scale instance for simulation-only studies.
+  [[nodiscard]] static Config paper_instance(std::size_t rows) {
+    return Config{rows, 48, false, 0x59a125};
+  }
+
+  [[nodiscard]] std::string name() const override { return "SpMV"; }
+  [[nodiscard]] std::size_t total_grains() const override {
+    return config_.rows;
+  }
+  [[nodiscard]] double bytes_per_grain() const override {
+    // One CSR row is shipped per grain (4-byte column + 8-byte value per
+    // nonzero); x is predistributed to every unit like matmul's B.
+    return static_cast<double>(config_.nnz_per_row) * 12.0;
+  }
+  [[nodiscard]] sim::WorkloadProfile profile() const override;
+
+  void execute_cpu(std::size_t begin, std::size_t end) override;
+  [[nodiscard]] bool supports_real_execution() const override {
+    return config_.materialize;
+  }
+
+  /// Remote execution: the daemon regrows the same seeded graph and ships
+  /// computed y entries back.
+  [[nodiscard]] std::string remote_spec() const override;
+  [[nodiscard]] std::size_t result_bytes(std::size_t begin,
+                                         std::size_t end) const override;
+  void write_results(std::size_t begin, std::size_t end,
+                     std::uint8_t* out) const override;
+  void read_results(std::size_t begin, std::size_t end,
+                    const std::uint8_t* in) override;
+
+  /// Result / structure access for validation (real mode only).
+  [[nodiscard]] const std::vector<double>& y() const { return y_; }
+  [[nodiscard]] const std::vector<std::uint32_t>& row_ptr() const {
+    return row_ptr_;
+  }
+  [[nodiscard]] const std::vector<std::uint32_t>& cols() const {
+    return cols_;
+  }
+  [[nodiscard]] const std::vector<double>& vals() const { return vals_; }
+  [[nodiscard]] const std::vector<double>& x() const { return x_; }
+
+ private:
+  Config config_;
+  std::vector<std::uint32_t> row_ptr_;  ///< rows + 1 offsets
+  std::vector<std::uint32_t> cols_;
+  std::vector<double> vals_;
+  std::vector<double> x_;
+  std::vector<double> y_;
+};
+
+}  // namespace plbhec::apps

@@ -1,0 +1,88 @@
+#include "plbhec/apps/stencil.hpp"
+
+#include <cstring>
+
+#include "plbhec/common/contracts.hpp"
+#include "plbhec/common/rng.hpp"
+#include "plbhec/kdisp/kernels.hpp"
+#include "plbhec/kdisp/registry.hpp"
+
+namespace plbhec::apps {
+
+StencilWorkload::StencilWorkload(Config config) : config_(config) {
+  PLBHEC_EXPECTS(config_.nx > 0);
+  PLBHEC_EXPECTS(config_.ny > 0);
+  if (!config_.materialize) return;
+  const std::size_t cells = (config_.ny + 2) * stride();
+  in_.resize(cells);
+  Rng rng(config_.seed);
+  for (auto& v : in_) v = rng.uniform(-1.0, 1.0);
+  out_.assign(cells, 0.0);
+}
+
+sim::WorkloadProfile StencilWorkload::profile() const {
+  sim::WorkloadProfile p;
+  p.name = "stencil";
+  const double nx = static_cast<double>(config_.nx);
+  p.flops_per_grain = 6.0 * nx;  // 4 adds + 2 muls per cell
+  p.bytes_per_grain = bytes_per_grain();
+  // Streaming: ~2 rows read (center cached from the previous row's south
+  // neighbor) + 1 row written per grain.
+  p.device_bytes_per_grain = 24.0 * nx;
+  p.gpu_threads_per_grain = nx;  // cell-per-thread sweep
+  p.cpu_parallel_fraction = 0.97;
+  // Far below peak flops on both device kinds — the memory roof binds.
+  p.gpu_efficiency = 0.40;
+  p.cpu_efficiency = 0.30;
+  // Streaming kernels saturate bandwidth with comparatively few rows.
+  p.gpu_saturation_grains = 1024.0;
+  return p;
+}
+
+std::string StencilWorkload::remote_spec() const {
+  if (!config_.materialize) return {};
+  return "stencil:nx=" + std::to_string(config_.nx) +
+         ",ny=" + std::to_string(config_.ny) +
+         ",seed=" + std::to_string(config_.seed);
+}
+
+std::size_t StencilWorkload::result_bytes(std::size_t begin,
+                                          std::size_t end) const {
+  PLBHEC_EXPECTS(begin <= end && end <= config_.ny);
+  return config_.materialize ? (end - begin) * config_.nx * sizeof(double)
+                             : 0;
+}
+
+void StencilWorkload::write_results(std::size_t begin, std::size_t end,
+                                    std::uint8_t* out) const {
+  PLBHEC_EXPECTS(config_.materialize);
+  PLBHEC_EXPECTS(begin <= end && end <= config_.ny);
+  for (std::size_t i = begin; i < end; ++i) {
+    std::memcpy(out + (i - begin) * config_.nx * sizeof(double),
+                out_.data() + (i + 1) * stride() + 1,
+                config_.nx * sizeof(double));
+  }
+}
+
+void StencilWorkload::read_results(std::size_t begin, std::size_t end,
+                                   const std::uint8_t* in) {
+  PLBHEC_EXPECTS(config_.materialize);
+  PLBHEC_EXPECTS(begin <= end && end <= config_.ny);
+  for (std::size_t i = begin; i < end; ++i) {
+    std::memcpy(out_.data() + (i + 1) * stride() + 1,
+                in + (i - begin) * config_.nx * sizeof(double),
+                config_.nx * sizeof(double));
+  }
+}
+
+void StencilWorkload::execute_cpu(std::size_t begin, std::size_t end) {
+  PLBHEC_EXPECTS(config_.materialize);
+  PLBHEC_EXPECTS(begin <= end && end <= config_.ny);
+  if (begin == end) return;
+  auto* const kernel =
+      kdisp::KernelRegistry::instance().select<kdisp::StencilRowsFn>(
+          kdisp::kStencilKernel, kdisp::classify_width(config_.nx));
+  kernel(in_.data(), out_.data(), config_.nx, begin, end, kC0, kC1);
+}
+
+}  // namespace plbhec::apps

@@ -1,0 +1,79 @@
+#pragma once
+/// \file stencil.hpp
+/// 2D 5-point stencil sweep (the memory-streaming family): one Jacobi-style
+/// relaxation step over an (ny x nx) interior with a fixed halo,
+///   out = c0*in[c] + c1*((in[w]+in[e]) + (in[n]+in[s])).
+/// A grain is one interior row; blocks write disjoint output rows and only
+/// read the immutable input grid, so any partition is race-free. The row
+/// kernel is resolved through the kdisp registry (scalar / AVX2 / AVX-512
+/// variants — elementwise, so every lane width is bit-identical).
+///
+/// Arithmetic intensity is ~6 flops per 16+ streamed bytes: the family
+/// lives on the memory roof, the opposite regime from matmul/n-body.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "plbhec/rt/workload.hpp"
+
+namespace plbhec::apps {
+
+class StencilWorkload final : public rt::Workload {
+ public:
+  struct Config {
+    std::size_t nx = 512;      ///< interior row width (cells)
+    std::size_t ny = 100'000;  ///< interior rows (grains)
+    bool materialize = false;  ///< allocate the real grids
+    std::uint64_t seed = 0x57e4c11;
+  };
+
+  explicit StencilWorkload(Config config);
+
+  /// Production-mesh-scale instance for simulation-only studies.
+  [[nodiscard]] static Config paper_instance(std::size_t ny) {
+    return Config{2048, ny, false, 0x57e4c11};
+  }
+
+  [[nodiscard]] std::string name() const override { return "Stencil"; }
+  [[nodiscard]] std::size_t total_grains() const override {
+    return config_.ny;
+  }
+  [[nodiscard]] double bytes_per_grain() const override {
+    // One padded input row per grain; the two halo rows a block also reads
+    // are amortized across its rows.
+    return static_cast<double>(config_.nx + 2) * sizeof(double);
+  }
+  [[nodiscard]] sim::WorkloadProfile profile() const override;
+
+  void execute_cpu(std::size_t begin, std::size_t end) override;
+  [[nodiscard]] bool supports_real_execution() const override {
+    return config_.materialize;
+  }
+
+  /// Remote execution: the daemon rebuilds the same seeded grid and ships
+  /// swept interior rows back.
+  [[nodiscard]] std::string remote_spec() const override;
+  [[nodiscard]] std::size_t result_bytes(std::size_t begin,
+                                         std::size_t end) const override;
+  void write_results(std::size_t begin, std::size_t end,
+                     std::uint8_t* out) const override;
+  void read_results(std::size_t begin, std::size_t end,
+                    const std::uint8_t* in) override;
+
+  /// Grid access for validation (real mode only); padded (ny+2) x (nx+2),
+  /// row-major.
+  [[nodiscard]] const std::vector<double>& input() const { return in_; }
+  [[nodiscard]] const std::vector<double>& output() const { return out_; }
+
+  static constexpr double kC0 = 0.5;
+  static constexpr double kC1 = 0.125;
+
+ private:
+  [[nodiscard]] std::size_t stride() const { return config_.nx + 2; }
+
+  Config config_;
+  std::vector<double> in_, out_;
+};
+
+}  // namespace plbhec::apps

@@ -9,6 +9,8 @@
 #include "plbhec/apps/blackscholes.hpp"
 #include "plbhec/apps/grn.hpp"
 #include "plbhec/apps/matmul.hpp"
+#include "plbhec/apps/spmv.hpp"
+#include "plbhec/apps/stencil.hpp"
 #include "plbhec/baselines/acosta.hpp"
 #include "plbhec/baselines/greedy.hpp"
 #include "plbhec/baselines/hdss.hpp"
@@ -85,7 +87,8 @@ std::unique_ptr<rt::Workload> scale_to_horizon(
   auto workload = make(size);
   for (int i = 0; i < 24; ++i) {
     if (nominal_horizon(cluster, workload->profile(),
-                        workload->total_grains()) >= kTargetHorizon)
+                        workload->total_grains(),
+                        workload->bytes_per_grain()) >= kTargetHorizon)
       break;
     size *= 2;
     workload = make(size);
@@ -255,7 +258,8 @@ sim::SimCluster make_cluster(const std::string& shape, std::uint64_t seed) {
 }
 
 std::unique_ptr<rt::Workload> make_workload(const std::string& mix,
-                                            const sim::SimCluster& cluster) {
+                                            const sim::SimCluster& cluster,
+                                            std::uint64_t seed) {
   const std::size_t units = cluster.size();
   if (mix == "regular") {
     // MatMul: uniform compute-bound grains (one output row each), linear
@@ -269,6 +273,18 @@ std::unique_ptr<rt::Workload> make_workload(const std::string& mix,
         /*floor_size=*/8192);
   }
   if (mix == "irregular") {
+    if (seed % 2 == 0) {
+      // CSR SpMV over the skewed synthetic graph: hub rows several times
+      // the mean degree, gathers with no locality — irregular per-grain
+      // cost on the memory roof. The row count is the size knob.
+      return scale_to_horizon(
+          cluster,
+          [](std::size_t rows) {
+            return std::make_unique<apps::SpmvWorkload>(
+                apps::SpmvWorkload::paper_instance(rows));
+          },
+          /*floor_size=*/100'000);
+    }
     // GRN inference, exhaustive pair search: divergent integer kernels,
     // nonlinear GPU saturation, per-grain cost growing with the gene
     // count — the regime single-number weight models get wrong.
@@ -281,6 +297,19 @@ std::unique_ptr<rt::Workload> make_workload(const std::string& mix,
         /*floor_size=*/30000);
   }
   if (mix == "mixed") {
+    if (seed % 2 == 0) {
+      // 2D stencil sweep: uniform memory-streaming rows, ~6 flops per
+      // 16+ streamed bytes — the pure bandwidth regime, where compute
+      // speed spreads matter least and link spreads most. The interior
+      // row count is the size knob.
+      return scale_to_horizon(
+          cluster,
+          [](std::size_t ny) {
+            return std::make_unique<apps::StencilWorkload>(
+                apps::StencilWorkload::paper_instance(ny));
+          },
+          /*floor_size=*/100'000);
+    }
     // Monte-Carlo BlackScholes: a large portfolio of cheap grains whose
     // per-grain cost is set by the path count — compute scales while the
     // wire bytes per grain stay fixed, so compute/transfer balance shifts
@@ -303,13 +332,18 @@ std::unique_ptr<rt::Workload> make_workload(const std::string& mix,
 
 double nominal_horizon(const sim::SimCluster& cluster,
                        const sim::WorkloadProfile& profile,
-                       std::size_t total_grains) {
+                       std::size_t total_grains, double bytes_per_grain) {
   // Equal-finish-time bound: every unit processes its proportional share,
-  // T = 1 / sum(1 / t_u) with t_u the unit's whole-input time.
+  // T = 1 / sum(1 / t_u) with t_u the unit's whole-input time — execution
+  // plus, when the caller passes the grain's wire weight, the nominal
+  // transfer of the whole input over the unit's path.
   double inv_sum = 0.0;
   for (const auto& unit : cluster.units()) {
+    const double bytes =
+        static_cast<double>(total_grains) * bytes_per_grain;
     const double t = unit.device->execution_seconds(
-        profile, static_cast<double>(total_grains));
+                         profile, static_cast<double>(total_grains)) +
+                     unit.path.transfer_seconds(bytes);
     PLBHEC_ASSERT(t > 0.0);
     inv_sum += 1.0 / t;
   }
@@ -358,11 +392,11 @@ CellResult run_cell(const ScenarioCell& cell) {
   sim::SimCluster cluster = make_cluster(cell.shape, cell.seed);
   result.units = cluster.size();
   const std::unique_ptr<rt::Workload> sized =
-      make_workload(cell.workload, cluster);
+      make_workload(cell.workload, cluster, cell.seed);
   const std::size_t total = sized->total_grains();
   result.total_grains = total;
-  const double horizon =
-      nominal_horizon(cluster, sized->profile(), total);
+  const double horizon = nominal_horizon(cluster, sized->profile(), total,
+                                         sized->bytes_per_grain());
   const FaultScript script =
       make_fault_script(cell.fault, cluster.size(), horizon);
 
@@ -416,7 +450,7 @@ CellResult run_cell(const ScenarioCell& cell) {
     }
 
     const std::unique_ptr<rt::Workload> workload =
-        make_workload(cell.workload, cluster);
+        make_workload(cell.workload, cluster, cell.seed);
     rt::EngineOptions opts;
     opts.seed = cell_hash;
     opts.record_trace = false;

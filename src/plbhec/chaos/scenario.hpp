@@ -74,19 +74,29 @@ inline constexpr double kTargetHorizon = 1.0;
 /// Deterministic cluster for a shape name; aborts on unknown shapes.
 [[nodiscard]] sim::SimCluster make_cluster(const std::string& shape,
                                            std::uint64_t seed);
-/// The paper's applications as grid workload mixes: "regular" = MatMul
-/// (uniform compute-bound grains), "irregular" = GRN inference (divergent
-/// pair search, nonlinear GPU curves), "mixed" = Monte-Carlo BlackScholes
-/// (cheap grains in bulk, bandwidth-sensitive). The instance is
-/// weak-scaled to the cluster per kTargetHorizon; deterministic per
-/// (mix, cluster). Aborts on unknown names.
+/// The paper's applications plus the dispatched kernel families as grid
+/// workload mixes: "regular" = MatMul (uniform compute-bound grains).
+/// "irregular" alternates on the cell seed between GRN inference (odd
+/// seeds: divergent pair search, nonlinear GPU curves) and CSR SpMV
+/// (even seeds: skewed row degrees, bandwidth-bound gathers), "mixed"
+/// between Monte-Carlo BlackScholes (odd: cheap compute-heavy grains in
+/// bulk) and the 2D stencil sweep (even: memory-streaming) — so the
+/// grid's irregular/mixed columns cover both members of each regime
+/// while every cell stays deterministic per (mix, cluster, seed).
+/// Aborts on unknown names.
 [[nodiscard]] std::unique_ptr<rt::Workload> make_workload(
-    const std::string& mix, const sim::SimCluster& cluster);
+    const std::string& mix, const sim::SimCluster& cluster,
+    std::uint64_t seed = 1);
 /// Equal-finish-time estimate of the cell's makespan (noise-free); fault
-/// scripts key their event times on fractions of this horizon.
+/// scripts key their event times on fractions of this horizon. With
+/// `bytes_per_grain` > 0 each unit's share includes its nominal wire
+/// time, which is what keeps the bandwidth-bound families (spmv,
+/// stencil: heavy bytes per cheap grain) from being weak-scaled into
+/// transfer-dominated degenerate cells where every fault fires at t~0.
 [[nodiscard]] double nominal_horizon(const sim::SimCluster& cluster,
                                      const sim::WorkloadProfile& profile,
-                                     std::size_t total_grains);
+                                     std::size_t total_grains,
+                                     double bytes_per_grain = 0.0);
 /// Named fault script for a cluster of `units` units and horizon `T`;
 /// aborts on unknown names. Scripts never demote every unit.
 [[nodiscard]] FaultScript make_fault_script(const std::string& fault,

@@ -3,37 +3,33 @@
 #include <algorithm>
 #include <vector>
 
+#include "plbhec/exec/gemm_micro_detail.hpp"
 #include "plbhec/exec/thread_pool.hpp"
-
-#if defined(PLBHEC_ENABLE_AVX2) && defined(__AVX2__) && defined(__FMA__)
-#include <immintrin.h>
-#define PLBHEC_GEMM_AVX2 1
-#endif
+#include "plbhec/kdisp/kernels.hpp"
+#include "plbhec/kdisp/registry.hpp"
 
 namespace plbhec::exec {
 namespace {
 
-// Register-block geometry: MR x NR accumulators (4 x 8 doubles = 8 vector
-// registers of 4 lanes) with KC-deep panels sized for L2 residency.
-constexpr std::size_t kMr = 4;
-constexpr std::size_t kNr = 8;
-constexpr std::size_t kKc = 256;
+using detail::kGemmKc;
+using detail::kGemmMr;
+using detail::kGemmNr;
 
 /// Packs the B panel rows [k0, k0+kc) into strip-major KC x NR tiles:
 /// strip s holds the kc consecutive rows of columns [s*NR, s*NR+NR),
 /// zero-padded past n so the micro-kernel never branches on column tails.
 void pack_b(const double* b, std::size_t n, std::size_t k0, std::size_t kc,
             double* packed) {
-  const std::size_t nstrips = (n + kNr - 1) / kNr;
+  const std::size_t nstrips = (n + kGemmNr - 1) / kGemmNr;
   for (std::size_t s = 0; s < nstrips; ++s) {
-    const std::size_t j0 = s * kNr;
-    const std::size_t width = std::min(kNr, n - j0);
-    double* dst = packed + s * kc * kNr;
+    const std::size_t j0 = s * kGemmNr;
+    const std::size_t width = std::min(kGemmNr, n - j0);
+    double* dst = packed + s * kc * kGemmNr;
     for (std::size_t kk = 0; kk < kc; ++kk) {
       const double* src = b + (k0 + kk) * n + j0;
       for (std::size_t j = 0; j < width; ++j) dst[j] = src[j];
-      for (std::size_t j = width; j < kNr; ++j) dst[j] = 0.0;
-      dst += kNr;
+      for (std::size_t j = width; j < kGemmNr; ++j) dst[j] = 0.0;
+      dst += kGemmNr;
     }
   }
 }
@@ -43,81 +39,69 @@ void pack_b(const double* b, std::size_t n, std::size_t k0, std::size_t kc,
 void pack_a(const double* a, std::size_t k, std::size_t i0, std::size_t mr,
             std::size_t k0, std::size_t kc, double* packed) {
   for (std::size_t kk = 0; kk < kc; ++kk) {
-    double* dst = packed + kk * kMr;
+    double* dst = packed + kk * kGemmMr;
     for (std::size_t r = 0; r < mr; ++r) dst[r] = a[(i0 + r) * k + k0 + kk];
-    for (std::size_t r = mr; r < kMr; ++r) dst[r] = 0.0;
+    for (std::size_t r = mr; r < kGemmMr; ++r) dst[r] = 0.0;
   }
 }
-
-#if defined(PLBHEC_GEMM_AVX2)
-
-/// Explicit AVX2+FMA micro-kernel: 4x8 accumulator block in 8 YMM
-/// registers, one broadcast + two FMAs per (row, kk).
-void micro_kernel(std::size_t kc, const double* ap, const double* bp,
-                  double* c, std::size_t ldc, std::size_t mr,
-                  std::size_t nr) {
-  __m256d acc[kMr][2];
-  for (std::size_t r = 0; r < kMr; ++r) {
-    acc[r][0] = _mm256_setzero_pd();
-    acc[r][1] = _mm256_setzero_pd();
-  }
-  for (std::size_t kk = 0; kk < kc; ++kk) {
-    const __m256d b0 = _mm256_loadu_pd(bp + kk * kNr);
-    const __m256d b1 = _mm256_loadu_pd(bp + kk * kNr + 4);
-    const double* ak = ap + kk * kMr;
-    for (std::size_t r = 0; r < kMr; ++r) {
-      const __m256d ar = _mm256_broadcast_sd(ak + r);
-      acc[r][0] = _mm256_fmadd_pd(ar, b0, acc[r][0]);
-      acc[r][1] = _mm256_fmadd_pd(ar, b1, acc[r][1]);
-    }
-  }
-  alignas(32) double tile[kMr][kNr];
-  for (std::size_t r = 0; r < kMr; ++r) {
-    _mm256_store_pd(&tile[r][0], acc[r][0]);
-    _mm256_store_pd(&tile[r][4], acc[r][1]);
-  }
-  for (std::size_t r = 0; r < mr; ++r)
-    for (std::size_t j = 0; j < nr; ++j) c[r * ldc + j] += tile[r][j];
-}
-
-#else
 
 /// Portable micro-kernel: the fixed-trip-count loops over a 4x8 local
 /// accumulator fully unroll, so -O3 keeps the block in vector registers
 /// and contracts the multiply-adds into FMAs where the target has them.
-void micro_kernel(std::size_t kc, const double* ap, const double* bp,
-                  double* c, std::size_t ldc, std::size_t mr,
-                  std::size_t nr) {
-  double acc[kMr][kNr] = {};
+void gemm_micro_scalar(std::size_t kc, const double* ap, const double* bp,
+                       double* c, std::size_t ldc, std::size_t mr,
+                       std::size_t nr) {
+  double acc[kGemmMr][kGemmNr] = {};
   for (std::size_t kk = 0; kk < kc; ++kk) {
-    const double* ak = ap + kk * kMr;
-    const double* bk = bp + kk * kNr;
-    for (std::size_t r = 0; r < kMr; ++r) {
+    const double* ak = ap + kk * kGemmMr;
+    const double* bk = bp + kk * kGemmNr;
+    for (std::size_t r = 0; r < kGemmMr; ++r) {
       const double ar = ak[r];
-      for (std::size_t j = 0; j < kNr; ++j) acc[r][j] += ar * bk[j];
+      for (std::size_t j = 0; j < kGemmNr; ++j) acc[r][j] += ar * bk[j];
     }
   }
   for (std::size_t r = 0; r < mr; ++r)
     for (std::size_t j = 0; j < nr; ++j) c[r * ldc + j] += acc[r][j];
 }
 
-#endif  // PLBHEC_GEMM_AVX2
+PLBHEC_REGISTER_KERNEL(kdisp::kGemmMicroKernel, kdisp::IsaClass::kScalar,
+                       kdisp::WidthClass::kNarrow, gemm_micro_scalar);
+PLBHEC_REGISTER_KERNEL(kdisp::kGemmMicroKernel, kdisp::IsaClass::kScalar,
+                       kdisp::WidthClass::kWide, gemm_micro_scalar);
+
+}  // namespace
+
+namespace detail {
+void link_gemm_kernels() { link_gemm_avx2_kernel(); }
+}  // namespace detail
+
+namespace {
+
+/// Resolves the micro-kernel for an (m x n x k) product: width-classed by
+/// n, the micro-kernel's vectorizable trip count. Resolved per top-level
+/// call (one mutex-guarded lookup amortized over the whole product) so a
+/// pinned PLBHEC_KDISP_FORCE / test ceiling always takes effect.
+kdisp::GemmMicroFn* resolve_micro(std::size_t n) {
+  detail::link_gemm_avx2_kernel();
+  return kdisp::KernelRegistry::instance().select<kdisp::GemmMicroFn>(
+      kdisp::kGemmMicroKernel, kdisp::classify_width(n));
+}
 
 /// Multiplies row block [i0, i0+rows) against the packed B panel.
-void run_row_block(const double* a, double* c, std::size_t n, std::size_t k,
-                   std::size_t i0, std::size_t rows, std::size_t k0,
-                   std::size_t kc, const double* bpack,
-                   std::vector<double>& apack) {
-  const std::size_t nstrips = (n + kNr - 1) / kNr;
-  apack.resize(kc * kMr);
-  for (std::size_t i = i0; i < i0 + rows; i += kMr) {
-    const std::size_t mr = std::min(kMr, i0 + rows - i);
+void run_row_block(kdisp::GemmMicroFn* micro, const double* a, double* c,
+                   std::size_t n, std::size_t k, std::size_t i0,
+                   std::size_t rows, std::size_t k0, std::size_t kc,
+                   const double* bpack, std::vector<double>& apack) {
+  const std::size_t nstrips = (n + kGemmNr - 1) / kGemmNr;
+  apack.resize(kc * kGemmMr);
+  for (std::size_t i = i0; i < i0 + rows; i += kGemmMr) {
+    const std::size_t mr = std::min(kGemmMr, i0 + rows - i);
     pack_a(a, k, i, mr, k0, kc, apack.data());
     for (std::size_t s = 0; s < nstrips; ++s) {
-      const std::size_t j0 = s * kNr;
-      const std::size_t nr = std::min(kNr, n - j0);
-      micro_kernel(kc, apack.data(), bpack + s * kc * kNr, c + i * n + j0, n,
-                   mr, nr);
+      const std::size_t j0 = s * kGemmNr;
+      const std::size_t nr = std::min(kGemmNr, n - j0);
+      micro(kc, apack.data(), bpack + s * kc * kGemmNr, c + i * n + j0, n, mr,
+            nr);
     }
   }
 }
@@ -137,13 +121,15 @@ std::vector<double>& pack_buffer_a() {
 void gemm_packed(std::size_t m, std::size_t n, std::size_t k, const double* a,
                  const double* b, double* c) {
   if (m == 0 || n == 0 || k == 0) return;
-  const std::size_t nstrips = (n + kNr - 1) / kNr;
+  kdisp::GemmMicroFn* const micro = resolve_micro(n);
+  const std::size_t nstrips = (n + kGemmNr - 1) / kGemmNr;
   std::vector<double>& bpack = pack_buffer_b();
-  for (std::size_t k0 = 0; k0 < k; k0 += kKc) {
-    const std::size_t kc = std::min(kKc, k - k0);
-    bpack.resize(nstrips * kc * kNr);
+  for (std::size_t k0 = 0; k0 < k; k0 += kGemmKc) {
+    const std::size_t kc = std::min(kGemmKc, k - k0);
+    bpack.resize(nstrips * kc * kGemmNr);
     pack_b(b, n, k0, kc, bpack.data());
-    run_row_block(a, c, n, k, 0, m, k0, kc, bpack.data(), pack_buffer_a());
+    run_row_block(micro, a, c, n, k, 0, m, k0, kc, bpack.data(),
+                  pack_buffer_a());
   }
 }
 
@@ -153,29 +139,31 @@ void gemm_packed_parallel(std::size_t m, std::size_t n, std::size_t k,
   if (m == 0 || n == 0 || k == 0) return;
   unsigned lanes = pool.concurrency();
   if (max_lanes != 0) lanes = std::min(lanes, max_lanes);
-  if (lanes <= 1 || m < 2 * kMr) {
+  if (lanes <= 1 || m < 2 * kGemmMr) {
     gemm_packed(m, n, k, a, b, c);
     return;
   }
+  kdisp::GemmMicroFn* const micro = resolve_micro(n);
   // Row grain: MR-aligned so no two lanes share a C tile row block.
-  const std::size_t blocks = (m + kMr - 1) / kMr;
+  const std::size_t blocks = (m + kGemmMr - 1) / kGemmMr;
   const std::size_t grain_blocks =
       (blocks + static_cast<std::size_t>(lanes) - 1) /
       static_cast<std::size_t>(lanes);
-  const std::size_t grain = grain_blocks * kMr;
+  const std::size_t grain = grain_blocks * kGemmMr;
 
-  const std::size_t nstrips = (n + kNr - 1) / kNr;
+  const std::size_t nstrips = (n + kGemmNr - 1) / kGemmNr;
   std::vector<double>& bpack = pack_buffer_b();
-  for (std::size_t k0 = 0; k0 < k; k0 += kKc) {
-    const std::size_t kc = std::min(kKc, k - k0);
-    bpack.resize(nstrips * kc * kNr);
+  for (std::size_t k0 = 0; k0 < k; k0 += kGemmKc) {
+    const std::size_t kc = std::min(kGemmKc, k - k0);
+    bpack.resize(nstrips * kc * kGemmNr);
     pack_b(b, n, k0, kc, bpack.data());
     const double* bp = bpack.data();
-    pool.parallel_for(0, m, grain,
-                      [a, c, n, k, k0, kc, bp](std::size_t lo, std::size_t hi) {
-                        run_row_block(a, c, n, k, lo, hi - lo, k0, kc, bp,
-                                      pack_buffer_a());
-                      });
+    pool.parallel_for(
+        0, m, grain,
+        [micro, a, c, n, k, k0, kc, bp](std::size_t lo, std::size_t hi) {
+          run_row_block(micro, a, c, n, k, lo, hi - lo, k0, kc, bp,
+                        pack_buffer_a());
+        });
   }
 }
 

@@ -4,9 +4,10 @@
 /// into contiguous KC x NR tiles and A into MR x KC tiles, so the inner
 /// kernel streams two contiguous buffers into an MR x NR accumulator block
 /// that lives entirely in registers. The inner loop is branch-free (tails
-/// are zero-padded during packing) and written so the compiler's
-/// auto-vectorizer emits FMA-friendly code; configuring with
-/// -DPLBHEC_ENABLE_AVX2=ON compiles an explicit AVX2+FMA variant instead.
+/// are zero-padded during packing). The micro-kernel itself is resolved at
+/// runtime through the kdisp registry: a portable variant registers here
+/// and an explicit AVX2+FMA variant in gemm_micro_avx2.cpp, and one binary
+/// picks the best the host can execute (override with PLBHEC_KDISP_FORCE).
 ///
 /// Semantics match linalg::blas::gemm: row-major C (m x n) += A (m x k)
 /// * B (k x n), leading dimensions equal to the logical widths.

@@ -1,0 +1,65 @@
+/// \file gemm_micro_avx2.cpp
+/// Explicit AVX2+FMA GEMM micro-kernel, registered with the kdisp
+/// registry so one binary picks it at runtime on capable hosts (this
+/// replaces the old -DPLBHEC_ENABLE_AVX2 compile-time switch). Compiled
+/// with -mavx2 -mfma when the compiler supports them; otherwise the TU is
+/// just the link anchor. Unlike the dispatched workload families, GEMM
+/// variants are NOT bit-identical — the FMA accumulation here rounds
+/// differently from the portable kernel (see the contract note in
+/// kdisp/registry.hpp).
+
+#include "plbhec/exec/gemm_micro_detail.hpp"
+
+#if defined(__AVX2__) && defined(__FMA__)
+
+#include <immintrin.h>
+
+#include "plbhec/kdisp/kernels.hpp"
+#include "plbhec/kdisp/registry.hpp"
+
+namespace plbhec::exec {
+namespace {
+
+using detail::kGemmMr;
+using detail::kGemmNr;
+
+/// 4x8 accumulator block in 8 YMM registers, one broadcast + two FMAs per
+/// (row, kk).
+void gemm_micro_avx2(std::size_t kc, const double* ap, const double* bp,
+                     double* c, std::size_t ldc, std::size_t mr,
+                     std::size_t nr) {
+  __m256d acc[kGemmMr][2];
+  for (std::size_t r = 0; r < kGemmMr; ++r) {
+    acc[r][0] = _mm256_setzero_pd();
+    acc[r][1] = _mm256_setzero_pd();
+  }
+  for (std::size_t kk = 0; kk < kc; ++kk) {
+    const __m256d b0 = _mm256_loadu_pd(bp + kk * kGemmNr);
+    const __m256d b1 = _mm256_loadu_pd(bp + kk * kGemmNr + 4);
+    const double* ak = ap + kk * kGemmMr;
+    for (std::size_t r = 0; r < kGemmMr; ++r) {
+      const __m256d ar = _mm256_broadcast_sd(ak + r);
+      acc[r][0] = _mm256_fmadd_pd(ar, b0, acc[r][0]);
+      acc[r][1] = _mm256_fmadd_pd(ar, b1, acc[r][1]);
+    }
+  }
+  alignas(32) double tile[kGemmMr][kGemmNr];
+  for (std::size_t r = 0; r < kGemmMr; ++r) {
+    _mm256_store_pd(&tile[r][0], acc[r][0]);
+    _mm256_store_pd(&tile[r][4], acc[r][1]);
+  }
+  for (std::size_t r = 0; r < mr; ++r)
+    for (std::size_t j = 0; j < nr; ++j) c[r * ldc + j] += tile[r][j];
+}
+
+PLBHEC_REGISTER_KERNEL(kdisp::kGemmMicroKernel, kdisp::IsaClass::kAvx2,
+                       kdisp::WidthClass::kWide, gemm_micro_avx2);
+
+}  // namespace
+}  // namespace plbhec::exec
+
+#endif  // __AVX2__ && __FMA__
+
+namespace plbhec::exec::detail {
+void link_gemm_avx2_kernel() {}
+}  // namespace plbhec::exec::detail

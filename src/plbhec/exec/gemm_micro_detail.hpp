@@ -1,0 +1,26 @@
+#pragma once
+/// \file gemm_micro_detail.hpp
+/// Register-block geometry shared by the GEMM micro-kernel variants. The
+/// variants register with the kdisp registry under kGemmMicroKernel; the
+/// packed driver in gemm_micro.cpp resolves the best one at runtime.
+
+#include <cstddef>
+
+namespace plbhec::exec::detail {
+
+// MR x NR accumulators (4 x 8 doubles = 8 vector registers of 4 lanes)
+// with KC-deep panels sized for L2 residency.
+inline constexpr std::size_t kGemmMr = 4;
+inline constexpr std::size_t kGemmNr = 8;
+inline constexpr std::size_t kGemmKc = 256;
+
+/// Link anchor for the AVX2 variant TU (see the note in kdisp/registry.cpp
+/// about archive lazy extraction).
+void link_gemm_avx2_kernel();
+
+/// Link anchor for this family's registrations as a whole: the registry
+/// calls it so the gemm variants are in the table for every registry
+/// user, not only binaries that already reference an exec symbol.
+void link_gemm_kernels();
+
+}  // namespace plbhec::exec::detail

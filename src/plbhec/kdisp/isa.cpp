@@ -1,0 +1,68 @@
+#include "plbhec/kdisp/isa.hpp"
+
+#include <atomic>
+#include <cstdlib>
+
+namespace plbhec::kdisp {
+
+const char* to_string(IsaClass isa) {
+  switch (isa) {
+    case IsaClass::kScalar: return "scalar";
+    case IsaClass::kAvx2: return "avx2";
+    case IsaClass::kAvx512: return "avx512";
+  }
+  return "unknown";
+}
+
+std::optional<IsaClass> parse_isa(const std::string& name) {
+  if (name == "scalar") return IsaClass::kScalar;
+  if (name == "avx2") return IsaClass::kAvx2;
+  if (name == "avx512" || name == "best") return IsaClass::kAvx512;
+  return std::nullopt;
+}
+
+IsaClass host_isa() {
+#if defined(__x86_64__) || defined(__i386__)
+  // __builtin_cpu_supports reads CPUID once per process (libgcc/compiler-rt
+  // cache); both GCC and Clang provide it on x86.
+  static const IsaClass probed = [] {
+    if (__builtin_cpu_supports("avx512f")) return IsaClass::kAvx512;
+    if (__builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma"))
+      return IsaClass::kAvx2;
+    return IsaClass::kScalar;
+  }();
+  return probed;
+#else
+  return IsaClass::kScalar;
+#endif
+}
+
+namespace {
+
+/// The process-wide dispatch ceiling; initialized from the environment on
+/// first use, overridable by tests. Relaxed atomics: the value is written
+/// before engines start and only read afterwards.
+std::atomic<IsaClass>& ceiling_slot() {
+  static std::atomic<IsaClass> slot{[] {
+    IsaClass ceiling = host_isa();
+    if (const char* force = std::getenv("PLBHEC_KDISP_FORCE")) {
+      if (const auto parsed = parse_isa(force); parsed && *parsed < ceiling)
+        ceiling = *parsed;
+    }
+    return ceiling;
+  }()};
+  return slot;
+}
+
+}  // namespace
+
+IsaClass effective_isa() {
+  return ceiling_slot().load(std::memory_order_relaxed);
+}
+
+IsaClass set_effective_isa_for_testing(IsaClass isa) {
+  if (isa > host_isa()) isa = host_isa();
+  return ceiling_slot().exchange(isa, std::memory_order_relaxed);
+}
+
+}  // namespace plbhec::kdisp

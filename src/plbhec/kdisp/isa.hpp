@@ -1,0 +1,50 @@
+#pragma once
+/// \file isa.hpp
+/// Host ISA classes for the kernel-dispatch registry. A kernel variant is
+/// compiled for exactly one class; the runtime probe (CPUID via the
+/// compiler's builtin feature test) decides the best class the *host* can
+/// execute, and the registry picks the highest registered variant at or
+/// below it. The classes are ordered: a host that can run kAvx512 can run
+/// every lower class.
+///
+/// The probe can be pinned with the PLBHEC_KDISP_FORCE environment
+/// variable ("scalar" | "avx2" | "avx512" | "best"), which CI uses to run
+/// the whole test suite with dispatch forced to the portable kernels.
+/// Forcing an ISA the host cannot execute is clamped down to the probe
+/// result — the override selects among runnable variants, it cannot make
+/// a host execute instructions it lacks.
+
+#include <optional>
+#include <string>
+
+namespace plbhec::kdisp {
+
+/// Ordered ISA classes; higher enum value = wider vectors. kScalar is the
+/// portable C++ baseline every host can run.
+enum class IsaClass : std::uint8_t {
+  kScalar = 0,
+  kAvx2 = 1,    ///< AVX2 + FMA
+  kAvx512 = 2,  ///< AVX-512F
+};
+
+inline constexpr std::size_t kIsaClassCount = 3;
+
+[[nodiscard]] const char* to_string(IsaClass isa);
+
+/// "scalar" | "avx2" | "avx512" | "best" -> class ("best" = kAvx512, the
+/// top of the ladder); nullopt for anything else.
+[[nodiscard]] std::optional<IsaClass> parse_isa(const std::string& name);
+
+/// What the host CPU can execute, probed once per process (CPUID).
+[[nodiscard]] IsaClass host_isa();
+
+/// host_isa() clamped by the PLBHEC_KDISP_FORCE override, read once per
+/// process. This is the ceiling every registry lookup uses.
+[[nodiscard]] IsaClass effective_isa();
+
+/// Test-only: replaces the effective ISA ceiling for this process (still
+/// clamped to host_isa()). Returns the previous ceiling. Not thread-safe
+/// against concurrent lookups — call before spinning up engines.
+IsaClass set_effective_isa_for_testing(IsaClass isa);
+
+}  // namespace plbhec::kdisp

@@ -1,0 +1,156 @@
+/// \file kernels_avx2.cpp
+/// AVX2 variants. Compiled with -mavx2 -mfma -ffp-contract=off when the
+/// compiler supports the flags (see src/CMakeLists.txt); without them the
+/// TU compiles to just the link anchor and the registry simply never sees
+/// an AVX2 variant. No FMA intrinsics appear here on purpose: fusing the
+/// mul+add chains would change rounding versus the scalar reference and
+/// break the bit-identity contract in kernels.hpp, and -ffp-contract=off
+/// stops the compiler from fusing them behind our back.
+
+#include <cstddef>
+#include <cstdint>
+
+#include "plbhec/kdisp/kernels.hpp"
+#include "plbhec/kdisp/registry.hpp"
+
+#if defined(__AVX2__)
+
+#include <immintrin.h>
+
+#include <cmath>
+
+namespace plbhec::kdisp {
+namespace {
+
+/// Horizontal sum matching the scalar 4-lane combine: (s0+s2)+(s1+s3).
+inline double hsum4(__m256d v) {
+  const __m128d lo = _mm256_castpd256_pd128(v);
+  const __m128d hi = _mm256_extractf128_pd(v, 1);
+  const __m128d pair = _mm_add_pd(lo, hi);  // (s0+s2, s1+s3)
+  return _mm_cvtsd_f64(pair) + _mm_cvtsd_f64(_mm_unpackhi_pd(pair, pair));
+}
+
+void spmv_rows_avx2(const std::uint32_t* row_ptr, const std::uint32_t* cols,
+                    const double* vals, const double* x, double* y,
+                    std::size_t row_begin, std::size_t row_end) {
+  for (std::size_t i = row_begin; i < row_end; ++i) {
+    const std::size_t begin = row_ptr[i];
+    const std::size_t end = row_ptr[i + 1];
+    const std::size_t main_end = begin + ((end - begin) & ~std::size_t{3});
+    __m256d acc = _mm256_setzero_pd();
+    std::size_t j = begin;
+    // Masked gather (all-ones mask, zero source) rather than the plain
+    // form, whose undefined source operand trips -Wmaybe-uninitialized.
+    const __m256d gather_src = _mm256_setzero_pd();
+    const __m256d gather_mask =
+        _mm256_castsi256_pd(_mm256_set1_epi64x(-1));
+    for (; j < main_end; j += 4) {
+      const __m128i idx = _mm_loadu_si128(
+          reinterpret_cast<const __m128i*>(cols + j));
+      const __m256d xv =
+          _mm256_mask_i32gather_pd(gather_src, x, idx, gather_mask, 8);
+      const __m256d vv = _mm256_loadu_pd(vals + j);
+      acc = _mm256_add_pd(acc, _mm256_mul_pd(vv, xv));
+    }
+    double sum = hsum4(acc);
+    for (; j < end; ++j) sum += vals[j] * x[cols[j]];
+    y[i] = sum;
+  }
+}
+
+void stencil_rows_avx2(const double* in, double* out, std::size_t nx,
+                       std::size_t row_begin, std::size_t row_end, double c0,
+                       double c1) {
+  const std::size_t stride = nx + 2;
+  const __m256d c0v = _mm256_set1_pd(c0);
+  const __m256d c1v = _mm256_set1_pd(c1);
+  for (std::size_t i = row_begin; i < row_end; ++i) {
+    const double* row = in + (i + 1) * stride;
+    double* out_row = out + (i + 1) * stride;
+    const std::size_t vec_end = 1 + (nx & ~std::size_t{3});
+    std::size_t j = 1;
+    for (; j < vec_end; j += 4) {
+      const __m256d c = _mm256_loadu_pd(row + j);
+      const __m256d west = _mm256_loadu_pd(row + j - 1);
+      const __m256d east = _mm256_loadu_pd(row + j + 1);
+      const __m256d north = _mm256_loadu_pd(row + j - stride);
+      const __m256d south = _mm256_loadu_pd(row + j + stride);
+      const __m256d cross = _mm256_add_pd(_mm256_add_pd(west, east),
+                                          _mm256_add_pd(north, south));
+      _mm256_storeu_pd(out_row + j, _mm256_add_pd(_mm256_mul_pd(c0v, c),
+                                                  _mm256_mul_pd(c1v, cross)));
+    }
+    for (; j <= nx; ++j) {
+      const double cross =
+          (row[j - 1] + row[j + 1]) + (row[j - stride] + row[j + stride]);
+      out_row[j] = c0 * row[j] + c1 * cross;
+    }
+  }
+}
+
+void nbody_accel_avx2(const double* px, const double* py, const double* pz,
+                      const double* mass, std::size_t n, double eps2,
+                      double* ax, double* ay, double* az,
+                      std::size_t body_begin, std::size_t body_end) {
+  const std::size_t main_end = n & ~std::size_t{3};
+  const __m256d eps2v = _mm256_set1_pd(eps2);
+  const __m256d one = _mm256_set1_pd(1.0);
+  for (std::size_t i = body_begin; i < body_end; ++i) {
+    const __m256d pxi = _mm256_set1_pd(px[i]);
+    const __m256d pyi = _mm256_set1_pd(py[i]);
+    const __m256d pzi = _mm256_set1_pd(pz[i]);
+    __m256d axv = _mm256_setzero_pd();
+    __m256d ayv = _mm256_setzero_pd();
+    __m256d azv = _mm256_setzero_pd();
+    std::size_t j = 0;
+    for (; j < main_end; j += 4) {
+      const __m256d dx = _mm256_sub_pd(_mm256_loadu_pd(px + j), pxi);
+      const __m256d dy = _mm256_sub_pd(_mm256_loadu_pd(py + j), pyi);
+      const __m256d dz = _mm256_sub_pd(_mm256_loadu_pd(pz + j), pzi);
+      const __m256d r2 = _mm256_add_pd(
+          _mm256_add_pd(_mm256_add_pd(eps2v, _mm256_mul_pd(dx, dx)),
+                        _mm256_mul_pd(dy, dy)),
+          _mm256_mul_pd(dz, dz));
+      const __m256d inv = _mm256_div_pd(one, _mm256_sqrt_pd(r2));
+      const __m256d w = _mm256_mul_pd(
+          _mm256_loadu_pd(mass + j),
+          _mm256_mul_pd(_mm256_mul_pd(inv, inv), inv));
+      axv = _mm256_add_pd(axv, _mm256_mul_pd(w, dx));
+      ayv = _mm256_add_pd(ayv, _mm256_mul_pd(w, dy));
+      azv = _mm256_add_pd(azv, _mm256_mul_pd(w, dz));
+    }
+    double axi = hsum4(axv);
+    double ayi = hsum4(ayv);
+    double azi = hsum4(azv);
+    for (; j < n; ++j) {
+      const double dx = px[j] - px[i];
+      const double dy = py[j] - py[i];
+      const double dz = pz[j] - pz[i];
+      const double r2 = ((eps2 + dx * dx) + dy * dy) + dz * dz;
+      const double inv = 1.0 / std::sqrt(r2);
+      const double w = mass[j] * ((inv * inv) * inv);
+      axi += w * dx;
+      ayi += w * dy;
+      azi += w * dz;
+    }
+    ax[i] = axi;
+    ay[i] = ayi;
+    az[i] = azi;
+  }
+}
+
+PLBHEC_REGISTER_KERNEL(kSpmvKernel, IsaClass::kAvx2, WidthClass::kWide,
+                       spmv_rows_avx2);
+PLBHEC_REGISTER_KERNEL(kStencilKernel, IsaClass::kAvx2, WidthClass::kWide,
+                       stencil_rows_avx2);
+PLBHEC_REGISTER_KERNEL(kNbodyKernel, IsaClass::kAvx2, WidthClass::kWide,
+                       nbody_accel_avx2);
+
+}  // namespace
+}  // namespace plbhec::kdisp
+
+#endif  // __AVX2__
+
+namespace plbhec::kdisp {
+void link_avx2_kernels() {}
+}  // namespace plbhec::kdisp

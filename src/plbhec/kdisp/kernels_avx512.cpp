@@ -1,0 +1,61 @@
+/// \file kernels_avx512.cpp
+/// AVX-512F variants. Only the stencil registers here: it is elementwise
+/// with a fixed expression tree, so an 8-wide sweep is bit-identical to
+/// the scalar reference at any lane width. The reduction families (spmv,
+/// nbody) stop at AVX2 on purpose — widening their accumulator blocking
+/// to 8 lanes would change the summation tree and break bit-identity with
+/// the 4-lane scalar reference.
+
+#include <cstddef>
+
+#include "plbhec/kdisp/kernels.hpp"
+#include "plbhec/kdisp/registry.hpp"
+
+#if defined(__AVX512F__)
+
+#include <immintrin.h>
+
+namespace plbhec::kdisp {
+namespace {
+
+void stencil_rows_avx512(const double* in, double* out, std::size_t nx,
+                         std::size_t row_begin, std::size_t row_end, double c0,
+                         double c1) {
+  const std::size_t stride = nx + 2;
+  const __m512d c0v = _mm512_set1_pd(c0);
+  const __m512d c1v = _mm512_set1_pd(c1);
+  for (std::size_t i = row_begin; i < row_end; ++i) {
+    const double* row = in + (i + 1) * stride;
+    double* out_row = out + (i + 1) * stride;
+    const std::size_t vec_end = 1 + (nx & ~std::size_t{7});
+    std::size_t j = 1;
+    for (; j < vec_end; j += 8) {
+      const __m512d c = _mm512_loadu_pd(row + j);
+      const __m512d west = _mm512_loadu_pd(row + j - 1);
+      const __m512d east = _mm512_loadu_pd(row + j + 1);
+      const __m512d north = _mm512_loadu_pd(row + j - stride);
+      const __m512d south = _mm512_loadu_pd(row + j + stride);
+      const __m512d cross = _mm512_add_pd(_mm512_add_pd(west, east),
+                                          _mm512_add_pd(north, south));
+      _mm512_storeu_pd(out_row + j, _mm512_add_pd(_mm512_mul_pd(c0v, c),
+                                                  _mm512_mul_pd(c1v, cross)));
+    }
+    for (; j <= nx; ++j) {
+      const double cross =
+          (row[j - 1] + row[j + 1]) + (row[j - stride] + row[j + stride]);
+      out_row[j] = c0 * row[j] + c1 * cross;
+    }
+  }
+}
+
+PLBHEC_REGISTER_KERNEL(kStencilKernel, IsaClass::kAvx512, WidthClass::kWide,
+                       stencil_rows_avx512);
+
+}  // namespace
+}  // namespace plbhec::kdisp
+
+#endif  // __AVX512F__
+
+namespace plbhec::kdisp {
+void link_avx512_kernels() {}
+}  // namespace plbhec::kdisp

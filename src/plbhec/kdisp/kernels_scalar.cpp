@@ -1,0 +1,118 @@
+/// \file kernels_scalar.cpp
+/// Portable baseline variants for the dispatched families. These are the
+/// bit-identity reference: the reduction loops use the same 4-lane
+/// accumulator blocking and hsum order as the AVX2 variants (see
+/// kernels.hpp), and this TU is compiled with -ffp-contract=off, so the
+/// wide variants must match these results byte for byte. Scalar variants
+/// register for both width classes — they are also the fallback a narrow
+/// instance or an unknown-ISA host resolves to.
+
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+
+#include "plbhec/kdisp/kernels.hpp"
+#include "plbhec/kdisp/registry.hpp"
+
+namespace plbhec::kdisp {
+
+namespace {
+
+void spmv_rows_scalar(const std::uint32_t* row_ptr, const std::uint32_t* cols,
+                      const double* vals, const double* x, double* y,
+                      std::size_t row_begin, std::size_t row_end) {
+  for (std::size_t i = row_begin; i < row_end; ++i) {
+    const std::size_t begin = row_ptr[i];
+    const std::size_t end = row_ptr[i + 1];
+    const std::size_t main_end = begin + ((end - begin) & ~std::size_t{3});
+    double s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;
+    std::size_t j = begin;
+    for (; j < main_end; j += 4) {
+      s0 += vals[j] * x[cols[j]];
+      s1 += vals[j + 1] * x[cols[j + 1]];
+      s2 += vals[j + 2] * x[cols[j + 2]];
+      s3 += vals[j + 3] * x[cols[j + 3]];
+    }
+    double sum = (s0 + s2) + (s1 + s3);
+    for (; j < end; ++j) sum += vals[j] * x[cols[j]];
+    y[i] = sum;
+  }
+}
+
+void stencil_rows_scalar(const double* in, double* out, std::size_t nx,
+                         std::size_t row_begin, std::size_t row_end, double c0,
+                         double c1) {
+  const std::size_t stride = nx + 2;
+  for (std::size_t i = row_begin; i < row_end; ++i) {
+    const double* row = in + (i + 1) * stride;
+    double* out_row = out + (i + 1) * stride;
+    for (std::size_t j = 1; j <= nx; ++j) {
+      const double cross =
+          (row[j - 1] + row[j + 1]) + (row[j - stride] + row[j + stride]);
+      out_row[j] = c0 * row[j] + c1 * cross;
+    }
+  }
+}
+
+void nbody_accel_scalar(const double* px, const double* py, const double* pz,
+                        const double* mass, std::size_t n, double eps2,
+                        double* ax, double* ay, double* az,
+                        std::size_t body_begin, std::size_t body_end) {
+  const std::size_t main_end = n & ~std::size_t{3};
+  for (std::size_t i = body_begin; i < body_end; ++i) {
+    const double pxi = px[i], pyi = py[i], pzi = pz[i];
+    double axl[4] = {0.0, 0.0, 0.0, 0.0};
+    double ayl[4] = {0.0, 0.0, 0.0, 0.0};
+    double azl[4] = {0.0, 0.0, 0.0, 0.0};
+    std::size_t j = 0;
+    for (; j < main_end; j += 4) {
+      for (std::size_t l = 0; l < 4; ++l) {
+        const double dx = px[j + l] - pxi;
+        const double dy = py[j + l] - pyi;
+        const double dz = pz[j + l] - pzi;
+        const double r2 = ((eps2 + dx * dx) + dy * dy) + dz * dz;
+        const double inv = 1.0 / std::sqrt(r2);
+        const double w = mass[j + l] * ((inv * inv) * inv);
+        axl[l] += w * dx;
+        ayl[l] += w * dy;
+        azl[l] += w * dz;
+      }
+    }
+    double axi = (axl[0] + axl[2]) + (axl[1] + axl[3]);
+    double ayi = (ayl[0] + ayl[2]) + (ayl[1] + ayl[3]);
+    double azi = (azl[0] + azl[2]) + (azl[1] + azl[3]);
+    for (; j < n; ++j) {
+      const double dx = px[j] - pxi;
+      const double dy = py[j] - pyi;
+      const double dz = pz[j] - pzi;
+      const double r2 = ((eps2 + dx * dx) + dy * dy) + dz * dz;
+      const double inv = 1.0 / std::sqrt(r2);
+      const double w = mass[j] * ((inv * inv) * inv);
+      axi += w * dx;
+      ayi += w * dy;
+      azi += w * dz;
+    }
+    ax[i] = axi;
+    ay[i] = ayi;
+    az[i] = azi;
+  }
+}
+
+PLBHEC_REGISTER_KERNEL(kSpmvKernel, IsaClass::kScalar, WidthClass::kNarrow,
+                       spmv_rows_scalar);
+PLBHEC_REGISTER_KERNEL(kSpmvKernel, IsaClass::kScalar, WidthClass::kWide,
+                       spmv_rows_scalar);
+PLBHEC_REGISTER_KERNEL(kStencilKernel, IsaClass::kScalar, WidthClass::kNarrow,
+                       stencil_rows_scalar);
+PLBHEC_REGISTER_KERNEL(kStencilKernel, IsaClass::kScalar, WidthClass::kWide,
+                       stencil_rows_scalar);
+PLBHEC_REGISTER_KERNEL(kNbodyKernel, IsaClass::kScalar, WidthClass::kNarrow,
+                       nbody_accel_scalar);
+PLBHEC_REGISTER_KERNEL(kNbodyKernel, IsaClass::kScalar, WidthClass::kWide,
+                       nbody_accel_scalar);
+
+}  // namespace
+
+void link_scalar_kernels() {}
+
+}  // namespace plbhec::kdisp

@@ -12,6 +12,7 @@
 #include "plbhec/apps/registry.hpp"
 #include "plbhec/common/contracts.hpp"
 #include "plbhec/exec/thread_pool.hpp"
+#include "plbhec/kdisp/registry.hpp"
 #include "plbhec/obs/counters.hpp"
 #include "plbhec/rt/workload.hpp"
 
@@ -151,6 +152,10 @@ void WorkerDaemon::stop() {
     reg.set(prefix + "connections_accepted", connections_accepted_.load());
     reg.set(prefix + "blocks_served", blocks_served_.load());
     reg.set(prefix + "results_batched", results_batched_.load());
+    // This daemon's kernel-dispatch table (host ISA probe + per-kernel
+    // selections): the per-worker observable the wire protocol never
+    // carries.
+    kdisp::KernelRegistry::instance().publish_counters(reg);
   }
 }
 

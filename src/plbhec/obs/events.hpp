@@ -39,10 +39,11 @@ enum class EventKind : std::uint8_t {
   kHeartbeatMissed,     ///< net: heartbeat ack overdue on a worker link
   kReconnect,           ///< net: reconnect attempt to a worker daemon
   kShardMigration,      ///< service: unit ownership moved between shards
+  kKernelDispatch,      ///< kdisp: a (kernel, width) slot resolved to an ISA
 };
 
 inline constexpr std::size_t kEventKindCount =
-    static_cast<std::size_t>(EventKind::kShardMigration) + 1;
+    static_cast<std::size_t>(EventKind::kKernelDispatch) + 1;
 
 /// One recorded decision. `time` is virtual (simulated) seconds, matching
 /// the busy-segment trace timeline. The meaning of the payload fields

@@ -28,6 +28,7 @@ const char* to_string(EventKind kind) {
     case EventKind::kHeartbeatMissed: return "heartbeat_missed";
     case EventKind::kReconnect: return "reconnect";
     case EventKind::kShardMigration: return "shard_migration";
+    case EventKind::kKernelDispatch: return "kernel_dispatch";
   }
   return "unknown";
 }
@@ -79,6 +80,8 @@ std::array<const char*, 4> arg_names(EventKind kind) {
       return {"backoff_seconds", nullptr, "attempt", "success"};
     case EventKind::kShardMigration:
       return {nullptr, nullptr, "from_shard", "to_shard"};
+    case EventKind::kKernelDispatch:
+      return {"width", nullptr, "isa", "kernel_hash"};
   }
   return {nullptr, nullptr, nullptr, nullptr};
 }

@@ -121,9 +121,13 @@ RunResult SimEngine::run(Workload& workload, Scheduler& scheduler) {
         su.link_at(now).transfer_seconds(bytes), unit_rng[unit]);
     const double speed = su.speed_factor(now);
     PLBHEC_ASSERT(speed > 0.0);
+    // The speed factor goes through the device model, which applies it to
+    // the compute/overhead terms only — a throttled unit keeps its memory
+    // bandwidth, so bandwidth-bound families (spmv, stencil) are scaled
+    // consistently instead of dividing the whole roofline time.
     const double exec_s = options_.noise.perturb_exec(
-        su.device->execution_seconds(profile, static_cast<double>(grains)) /
-            speed,
+        su.device->execution_seconds(profile, static_cast<double>(grains),
+                                     speed),
         unit_rng[unit]);
 
     InFlight task;

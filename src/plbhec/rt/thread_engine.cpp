@@ -2,9 +2,13 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstring>
 #include <deque>
+#include <span>
 
+#include "plbhec/common/codec.hpp"
 #include "plbhec/common/contracts.hpp"
+#include "plbhec/kdisp/registry.hpp"
 
 namespace plbhec::rt {
 namespace {
@@ -286,6 +290,24 @@ RunResult ThreadEngine::run(Workload& workload, Scheduler& scheduler) {
   // run is a condition-variable wakeup, so the first probe block's timing
   // contains no thread-startup cost.
   workers_->run(worker_body);
+
+  // Publish the kernel-dispatch decisions the run exercised: one event per
+  // resolved (kernel, width) slot. This is the only place the ISA choice
+  // surfaces — it is observability, never protocol (a remote daemon's
+  // dispatch stays its own business and is NOT in these events).
+  if (sink != nullptr) {
+    const double dispatch_time = seconds_since(t0);
+    for (const kdisp::DispatchRecord& rec :
+         kdisp::KernelRegistry::instance().resolved()) {
+      const auto* name_bytes =
+          reinterpret_cast<const std::uint8_t*>(rec.kernel.data());
+      PLBHEC_OBS_RECORD(
+          sink, {dispatch_time, obs::EventKind::kKernelDispatch, obs::kNoUnit,
+                 static_cast<double>(rec.width), 0.0,
+                 static_cast<std::uint64_t>(rec.isa),
+                 common::fnv1a64({name_bytes, rec.kernel.size()})});
+    }
+  }
 
   result.makespan = seconds_since(t0);
   result.grains_completed = completed;

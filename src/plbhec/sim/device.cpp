@@ -8,6 +8,12 @@
 
 namespace plbhec::sim {
 
+double DeviceModel::execution_seconds(const WorkloadProfile& w, double grains,
+                                      double speed_factor) const {
+  PLBHEC_EXPECTS(speed_factor > 0.0);
+  return execution_seconds(w, grains) / speed_factor;
+}
+
 GpuModel::GpuModel(Params p) : params_(std::move(p)) {
   PLBHEC_EXPECTS(params_.cores > 0);
   PLBHEC_EXPECTS(params_.sm_count > 0);
@@ -29,14 +35,24 @@ double GpuModel::peak_flops() const {
 
 double GpuModel::execution_seconds(const WorkloadProfile& w,
                                    double grains) const {
+  return execution_seconds(w, grains, 1.0);
+}
+
+double GpuModel::execution_seconds(const WorkloadProfile& w, double grains,
+                                   double speed_factor) const {
   PLBHEC_EXPECTS(grains >= 0.0);
+  PLBHEC_EXPECTS(speed_factor > 0.0);
   if (grains == 0.0) return 0.0;
 
   const double threads = grains * w.gpu_threads_per_grain;
   const double capacity = static_cast<double>(
       params_.sm_count * params_.resident_threads_per_sm);
   const double waves = std::ceil(threads / capacity);
-  const double effective_rate = peak_flops() * w.gpu_efficiency;
+  // The speed factor throttles the arithmetic rate (clock, contended
+  // cores) and stretches the launch/warmup overheads with it; the memory
+  // roof below deliberately stays at full bandwidth (see DeviceModel).
+  const double effective_rate =
+      peak_flops() * w.gpu_efficiency * speed_factor;
 
   // Full-wave charge: a partially filled wave occupies every SM for the
   // duration of its slowest thread, so the idle lanes are paid for. This
@@ -61,8 +77,8 @@ double GpuModel::execution_seconds(const WorkloadProfile& w,
     warmup_s = full_warmup * grains / (grains + w.gpu_saturation_grains);
   }
 
-  return params_.launch_overhead_s + std::max(compute_s, memory_s) +
-         warmup_s;
+  return params_.launch_overhead_s / speed_factor +
+         std::max(compute_s, memory_s) + warmup_s;
 }
 
 CpuModel::CpuModel(Params p) : params_(std::move(p)) {
@@ -84,7 +100,13 @@ double CpuModel::peak_flops() const {
 
 double CpuModel::execution_seconds(const WorkloadProfile& w,
                                    double grains) const {
+  return execution_seconds(w, grains, 1.0);
+}
+
+double CpuModel::execution_seconds(const WorkloadProfile& w, double grains,
+                                   double speed_factor) const {
   PLBHEC_EXPECTS(grains >= 0.0);
+  PLBHEC_EXPECTS(speed_factor > 0.0);
   if (grains == 0.0) return 0.0;
 
   const double cores = static_cast<double>(params_.cores);
@@ -94,12 +116,15 @@ double CpuModel::execution_seconds(const WorkloadProfile& w,
       params_.clock_ghz * 1e9 * params_.flops_per_core_per_cycle;
 
   const double flops = grains * w.flops_per_grain;
+  // As in GpuModel: speed throttles arithmetic and overhead, not the
+  // memory roof.
   const double compute_s =
-      flops / (single_core_flops * speedup * w.cpu_efficiency);
+      flops / (single_core_flops * speedup * w.cpu_efficiency * speed_factor);
   const double memory_s =
       grains * w.device_bytes_per_grain / params_.mem_bandwidth_bps;
 
-  return params_.dispatch_overhead_s + std::max(compute_s, memory_s);
+  return params_.dispatch_overhead_s / speed_factor +
+         std::max(compute_s, memory_s);
 }
 
 }  // namespace plbhec::sim

@@ -26,6 +26,19 @@ class DeviceModel {
   [[nodiscard]] virtual double execution_seconds(const WorkloadProfile& w,
                                                  double grains) const = 0;
 
+  /// Noise-free seconds with a unit speed factor applied (chaos slowdowns,
+  /// heterogeneous unit scaling). The factor models the unit's *compute*
+  /// capability — clock throttling, co-tenant core stealing — so it scales
+  /// the arithmetic and overhead terms but NOT the memory roof: halving a
+  /// unit's compute speed does not halve its memory bus, and a
+  /// bandwidth-bound family (spmv, stencil) must not speed up or slow down
+  /// as if it did. The base implementation keeps the legacy
+  /// whole-time-divided-by-speed approximation for external models; the
+  /// built-in models override it with the term-exact form.
+  [[nodiscard]] virtual double execution_seconds(const WorkloadProfile& w,
+                                                 double grains,
+                                                 double speed_factor) const;
+
   /// Peak flop rate (for reporting only).
   [[nodiscard]] virtual double peak_flops() const = 0;
 };
@@ -60,6 +73,9 @@ class GpuModel final : public DeviceModel {
   [[nodiscard]] std::string description() const override;
   [[nodiscard]] double execution_seconds(const WorkloadProfile& w,
                                          double grains) const override;
+  [[nodiscard]] double execution_seconds(const WorkloadProfile& w,
+                                         double grains,
+                                         double speed_factor) const override;
   [[nodiscard]] double peak_flops() const override;
 
   [[nodiscard]] const Params& params() const { return params_; }
@@ -87,6 +103,9 @@ class CpuModel final : public DeviceModel {
   [[nodiscard]] std::string description() const override;
   [[nodiscard]] double execution_seconds(const WorkloadProfile& w,
                                          double grains) const override;
+  [[nodiscard]] double execution_seconds(const WorkloadProfile& w,
+                                         double grains,
+                                         double speed_factor) const override;
   [[nodiscard]] double peak_flops() const override;
 
   [[nodiscard]] const Params& params() const { return params_; }

@@ -1,16 +1,25 @@
-// Tests for the three paper applications and the synthetic workload:
-// Black-Scholes closed-form values, put-call parity, Monte Carlo
-// convergence to the closed form; blocked-GEMM matmul against a naive
-// reference; GRN conditional-entropy properties and kernel results;
-// cost-profile sanity for the simulated devices.
+// Tests for the paper applications, the synthetic workload and the
+// dispatched kernel families: Black-Scholes closed-form values, put-call
+// parity, Monte Carlo convergence to the closed form; blocked-GEMM matmul
+// against a naive reference; GRN conditional-entropy properties and
+// kernel results; SpMV/stencil/n-body reference results, CSR degree skew,
+// remote result round-trips; cost-profile sanity for the simulated
+// devices.
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
 
 #include "plbhec/apps/blackscholes.hpp"
 #include "plbhec/apps/grn.hpp"
 #include "plbhec/apps/matmul.hpp"
+#include "plbhec/apps/nbody.hpp"
+#include "plbhec/apps/spmv.hpp"
+#include "plbhec/apps/stencil.hpp"
 #include "plbhec/apps/synthetic.hpp"
 #include "plbhec/linalg/matrix.hpp"
 
@@ -241,6 +250,121 @@ TEST(Synthetic, ProfilePassthrough) {
   EXPECT_DOUBLE_EQ(w.profile().flops_per_grain, 123.0);
   EXPECT_DOUBLE_EQ(w.profile().gpu_efficiency, 0.77);
   EXPECT_TRUE(w.supports_real_execution());
+}
+
+// ---- Dispatched kernel families (spmv / stencil / nbody) -------------------
+
+TEST(Spmv, KernelMatchesNaiveReference) {
+  SpmvWorkload w(SpmvWorkload::Config{600, 20, true, 123});
+  w.execute_cpu(0, w.total_grains());
+  for (std::size_t i = 0; i < w.total_grains(); ++i) {
+    double expect = 0.0;
+    for (std::uint32_t j = w.row_ptr()[i]; j < w.row_ptr()[i + 1]; ++j)
+      expect += w.vals()[j] * w.x()[w.cols()[j]];
+    // Sequential reference vs the kernel's 4-lane tree: rounding only.
+    EXPECT_NEAR(w.y()[i], expect, 1e-12 * (1.0 + std::abs(expect))) << i;
+  }
+}
+
+TEST(Spmv, RowDegreesAreSkewedButBounded) {
+  const SpmvWorkload w(SpmvWorkload::Config{4000, 32, true, 1});
+  ASSERT_EQ(w.row_ptr().size(), 4001u);
+  std::size_t max_deg = 0;
+  for (std::size_t i = 0; i < 4000; ++i) {
+    ASSERT_LE(w.row_ptr()[i], w.row_ptr()[i + 1]);
+    max_deg = std::max<std::size_t>(max_deg,
+                                    w.row_ptr()[i + 1] - w.row_ptr()[i]);
+  }
+  // Hubs exist (non-hub degrees cap at 2*mean - 1, so anything above
+  // that is a x6 hub row) and stay under the generator's hard ceiling.
+  EXPECT_GT(max_deg, 2u * 32u);
+  EXPECT_LE(max_deg, 6u * (2u * 32u - 1u));
+  for (const std::uint32_t c : w.cols()) EXPECT_LT(c, 4000u);
+}
+
+TEST(Spmv, PartialRangesCompose) {
+  SpmvWorkload whole(SpmvWorkload::Config{500, 16, true, 77});
+  whole.execute_cpu(0, 500);
+  SpmvWorkload parts(SpmvWorkload::Config{500, 16, true, 77});
+  parts.execute_cpu(300, 500);
+  parts.execute_cpu(0, 300);
+  EXPECT_EQ(whole.y(), parts.y());
+}
+
+TEST(Stencil, MatchesDirectExpression) {
+  StencilWorkload w(StencilWorkload::Config{37, 21, true, 5});
+  w.execute_cpu(0, w.total_grains());
+  const std::size_t stride = 37 + 2;
+  const auto& in = w.input();
+  for (std::size_t i = 1; i <= 21; ++i) {
+    for (std::size_t j = 1; j <= 37; ++j) {
+      const std::size_t c = i * stride + j;
+      const double cross = (in[c - 1] + in[c + 1]) +
+                           (in[c - stride] + in[c + stride]);
+      // Same expression tree as the kernel: exact equality.
+      EXPECT_EQ(w.output()[c],
+                StencilWorkload::kC0 * in[c] + StencilWorkload::kC1 * cross);
+    }
+  }
+}
+
+TEST(Stencil, ConstantFieldIsAFixedPoint) {
+  // c0 + 4*c1 = 1: a uniform field must map to itself exactly.
+  ASSERT_DOUBLE_EQ(StencilWorkload::kC0 + 4.0 * StencilWorkload::kC1, 1.0);
+}
+
+TEST(Nbody, MatchesNaiveReferenceAndConservesMomentum) {
+  NbodyWorkload w(NbodyWorkload::Config{200, true, 42});
+  w.execute_cpu(0, w.total_grains());
+  double fx = 0.0, fy = 0.0, fz = 0.0;
+  for (std::size_t i = 0; i < 200; ++i) {
+    // Self-interaction is included branch-free but contributes zero
+    // direction; total force sums to ~0 by Newton's third law.
+    fx += w.mass()[i] * w.ax()[i];
+    fy += w.mass()[i] * w.ay()[i];
+    fz += w.mass()[i] * w.az()[i];
+    EXPECT_TRUE(std::isfinite(w.ax()[i]) && std::isfinite(w.ay()[i]) &&
+                std::isfinite(w.az()[i]))
+        << i;
+  }
+  EXPECT_NEAR(fx, 0.0, 1e-9);
+  EXPECT_NEAR(fy, 0.0, 1e-9);
+  EXPECT_NEAR(fz, 0.0, 1e-9);
+}
+
+TEST(NewFamilies, ResultRoundTripPerFamily) {
+  const auto round_trip = [](auto&& computed, auto&& blank,
+                             const auto& fetch) {
+    computed.execute_cpu(0, computed.total_grains());
+    const std::size_t begin = 3, end = computed.total_grains() - 2;
+    std::vector<std::uint8_t> buf(computed.result_bytes(begin, end));
+    computed.write_results(begin, end, buf.data());
+    blank.read_results(begin, end, buf.data());
+    const auto a = fetch(computed), b = fetch(blank);
+    for (std::size_t g = begin; g < end; ++g) EXPECT_EQ(a[g], b[g]) << g;
+  };
+  const SpmvWorkload::Config sc{300, 12, true, 8};
+  round_trip(SpmvWorkload(sc), SpmvWorkload(sc),
+             [](const SpmvWorkload& w) { return w.y(); });
+  const NbodyWorkload::Config nc{120, true, 8};
+  round_trip(NbodyWorkload(nc), NbodyWorkload(nc),
+             [](const NbodyWorkload& w) { return w.ax(); });
+}
+
+TEST(NewFamilies, ProfilesSpanTheIntensitySpectrum) {
+  const SpmvWorkload spmv(SpmvWorkload::paper_instance(100'000));
+  const StencilWorkload stencil(StencilWorkload::paper_instance(100'000));
+  const NbodyWorkload nbody(NbodyWorkload::paper_instance(100'000));
+  const auto intensity = [](const rt::Workload& w) {
+    const sim::WorkloadProfile p = w.profile();
+    return p.flops_per_grain / p.device_bytes_per_grain;
+  };
+  // nbody (compute-bound) >> stencil/spmv (memory-bound) — the diversity
+  // the per-family profile fits and the sim cost hook rely on.
+  EXPECT_GT(intensity(nbody), 100.0 * intensity(stencil));
+  EXPECT_GT(intensity(nbody), 100.0 * intensity(spmv));
+  EXPECT_FALSE(spmv.supports_real_execution());
+  EXPECT_TRUE(spmv.remote_spec().empty());  // sim-only: nothing to rebuild
 }
 
 }  // namespace

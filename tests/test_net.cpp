@@ -25,7 +25,10 @@
 #include "plbhec/apps/blackscholes.hpp"
 #include "plbhec/apps/grn.hpp"
 #include "plbhec/apps/matmul.hpp"
+#include "plbhec/apps/nbody.hpp"
 #include "plbhec/apps/registry.hpp"
+#include "plbhec/apps/spmv.hpp"
+#include "plbhec/apps/stencil.hpp"
 #include "plbhec/apps/synthetic.hpp"
 #include "plbhec/common/codec.hpp"
 #include "plbhec/core/plb_hec.hpp"
@@ -240,11 +243,18 @@ TEST(Registry, RebuildsEveryAppFromItsOwnSpec) {
                                                                    32, 77});
   apps::GrnWorkload grn(apps::GrnWorkload::Config{64, 32, 8, true, 11});
   apps::SyntheticWorkload synth(apps::SyntheticWorkload::Config{});
+  apps::SpmvWorkload spmv(apps::SpmvWorkload::Config{1000, 24, true, 5});
+  apps::StencilWorkload stencil(
+      apps::StencilWorkload::Config{64, 50, true, 9});
+  apps::NbodyWorkload nbody(apps::NbodyWorkload::Config{300, true, 3});
   for (const rt::Workload* w :
        {static_cast<const rt::Workload*>(&matmul),
         static_cast<const rt::Workload*>(&bs),
         static_cast<const rt::Workload*>(&grn),
-        static_cast<const rt::Workload*>(&synth)}) {
+        static_cast<const rt::Workload*>(&synth),
+        static_cast<const rt::Workload*>(&spmv),
+        static_cast<const rt::Workload*>(&stencil),
+        static_cast<const rt::Workload*>(&nbody)}) {
     std::string error;
     const auto rebuilt = apps::make_workload(w->remote_spec(), &error);
     ASSERT_NE(rebuilt, nullptr) << w->remote_spec() << ": " << error;
@@ -257,7 +267,9 @@ TEST(Registry, RejectsMalformedSpecs) {
   for (const char* spec :
        {"", "unknown:x=1", "matmul", "matmul:n=0", "matmul:n=999999",
         "matmul:n=abc", "matmul:n=", "matmul:n=1,n=2", "grn:genes=4,=5",
-        "blackscholes:options=0", "synthetic:grains="}) {
+        "blackscholes:options=0", "synthetic:grains=", "spmv:rows=0",
+        "spmv:rows=100,nnz=1000", "stencil:ny=100,nx=0",
+        "stencil:nx=512", "nbody:bodies=99999999", "nbody"}) {
     std::string error;
     EXPECT_EQ(apps::make_workload(spec, &error), nullptr) << spec;
     EXPECT_FALSE(error.empty()) << spec;
@@ -307,6 +319,52 @@ TEST(Loopback, MatMulRemoteBlocksAreBitIdenticalToLocal) {
   local.execute_cpu(0, kN);
   EXPECT_EQ(via_wire.result(), local.result());
   EXPECT_EQ(daemon.blocks_served(), 2u);
+}
+
+// The daemon may dispatch a different ISA variant than this process (its
+// kdisp probe is its own business), so this is the end-to-end check of
+// the variant bit-identity contract: results crossing the wire must equal
+// local execution exactly for every dispatched family.
+template <typename Workload, typename Fetch>
+void expect_remote_bit_identical(Workload&& via_wire, Workload&& local,
+                                 const Fetch& fetch) {
+  WorkerDaemon daemon({0, "wd", 1.0});
+  RemoteUnit unit(steady_options(daemon.port()));
+  const std::size_t grains = via_wire.total_grains();
+  ASSERT_TRUE(unit.begin_run(via_wire)) << via_wire.remote_spec();
+  rt::BlockTiming timing;
+  ASSERT_TRUE(unit.execute(via_wire, 0, grains / 2, timing));
+  ASSERT_TRUE(unit.execute(via_wire, grains / 2, grains, timing));
+  unit.end_run();
+  local.execute_cpu(0, grains);
+  EXPECT_EQ(fetch(via_wire), fetch(local)) << via_wire.remote_spec();
+  EXPECT_EQ(daemon.blocks_served(), 2u);
+}
+
+TEST(Loopback, SpmvRemoteBlocksAreBitIdenticalToLocal) {
+  const apps::SpmvWorkload::Config cfg{1500, 40, true, 0x59a125};
+  expect_remote_bit_identical(
+      apps::SpmvWorkload(cfg), apps::SpmvWorkload(cfg),
+      [](const apps::SpmvWorkload& w) { return w.y(); });
+}
+
+TEST(Loopback, StencilRemoteBlocksAreBitIdenticalToLocal) {
+  const apps::StencilWorkload::Config cfg{130, 120, true, 0x57e4c11};
+  expect_remote_bit_identical(
+      apps::StencilWorkload(cfg), apps::StencilWorkload(cfg),
+      [](const apps::StencilWorkload& w) { return w.output(); });
+}
+
+TEST(Loopback, NbodyRemoteBlocksAreBitIdenticalToLocal) {
+  const apps::NbodyWorkload::Config cfg{400, true, 0xb0d1e5};
+  expect_remote_bit_identical(
+      apps::NbodyWorkload(cfg), apps::NbodyWorkload(cfg),
+      [](const apps::NbodyWorkload& w) {
+        std::vector<double> all = w.ax();
+        all.insert(all.end(), w.ay().begin(), w.ay().end());
+        all.insert(all.end(), w.az().begin(), w.az().end());
+        return all;
+      });
 }
 
 TEST(Loopback, EngineWithRemoteUnitsConservesGrains) {

@@ -59,6 +59,19 @@ reproduces locally from the CI log alone. Per-cell makespans are
 deterministic per build but drift across compilers, so they are not
 identity-checked; the cell ids, grid shape and scheduler roster are.
 
+``bench_kdisp`` JSONs (kernel-dispatch registry + workload families)
+pass through :class:`KdispGate`, also absolute: every family must fit
+its simulated device curve with ``R^2 >= 0.95`` on at least one unit
+class, at least two distinct winning basis subsets must appear across
+the families (``distinct_subsets``), the reduction families must stay
+byte-identical across ISA variants (``isa_identical``), and on a host
+with vector units (``simd_host``) the best registered variant must
+beat forced-scalar by ``best_isa_speedup >= 1.3`` on at least one
+family. Per-variant timings and the resolved ISA names are
+machine-dependent and unchecked beyond structure; the gemm row's
+``max_rel_diff`` (the documented FMA exception) rides the usual
+residual ceiling.
+
 Identity keys (``n``, ``samples``, ``lanes``, ``units``, ...) and the
 overall JSON structure must match exactly, so a silently shrunk sweep
 also fails the gate. For bench_service the arrival trace itself is
@@ -177,6 +190,61 @@ class WinRateGate:
                          f"{self._replay(row)}")
 
 
+class KdispGate:
+    """Absolute gate for bench_kdisp (kernel-dispatch registry) JSONs.
+
+    The repo's dispatch claims hold on every machine, not relative to
+    the committed baseline:
+
+    * every family fits its simulated device curve with ``R^2 >=
+      R2_FLOOR`` on at least one unit class (CPU or GPU) -- the profile
+      fitter can actually learn each family's curve;
+    * ``distinct_subsets >= SUBSET_FLOOR`` -- the families are not four
+      copies of one profile: at least two different winning basis
+      subsets appear across {spmv, stencil, nbody, matmul};
+    * ``isa_identical`` is true -- the reduction families produced
+      byte-identical results under forced-scalar and best-ISA dispatch
+      (gemm is the documented FMA exception, checked by its
+      ``max_rel_diff`` residual ceiling instead);
+    * on a host with vector units (``simd_host``), the best registered
+      variant beats forced-scalar by ``best_isa_speedup >=
+      SPEEDUP_FLOOR`` on at least one family. Scalar-only hosts skip
+      this clause: there the best variant *is* the scalar one.
+    """
+
+    R2_FLOOR = 0.95
+    SUBSET_FLOOR = 2
+    SPEEDUP_FLOOR = 1.3
+
+    def check(self, doc, errors):
+        missing = [k for k in ("fit", "distinct_subsets", "best_isa_speedup",
+                               "isa_identical", "simd_host")
+                   if k not in doc]
+        if missing or not isinstance(doc.get("fit"), list):
+            fail(errors, "bench_kdisp",
+                 f"summary keys missing or malformed: {missing or 'fit'}")
+            return
+        for row in doc["fit"]:
+            best = max(row.get("cpu_r2", 0.0), row.get("gpu_r2", 0.0))
+            if best < self.R2_FLOOR:
+                fail(errors, f"bench_kdisp.{row.get('family', '?')}",
+                     f"no unit class fits with R^2 >= {self.R2_FLOOR} "
+                     f"(best {best:.3f})")
+        if doc["distinct_subsets"] < self.SUBSET_FLOOR:
+            fail(errors, "bench_kdisp",
+                 f"only {doc['distinct_subsets']} distinct winning basis "
+                 f"subset(s) across the families (need "
+                 f">= {self.SUBSET_FLOOR})")
+        if not doc["isa_identical"]:
+            fail(errors, "bench_kdisp",
+                 "isa_identical is false: a reduction family's forced-scalar "
+                 "and best-ISA variants diverged byte-wise")
+        if doc["simd_host"] and doc["best_isa_speedup"] < self.SPEEDUP_FLOOR:
+            fail(errors, "bench_kdisp",
+                 f"best-ISA speedup {doc['best_isa_speedup']:.2f} below "
+                 f"absolute floor {self.SPEEDUP_FLOOR} on a SIMD host")
+
+
 # Machine-dependent values: type-checked only.
 IGNORED_SUFFIXES = ("_us", "gflops")
 IGNORED_KEYS = {"hardware_concurrency", "reps", "genes", "events"}
@@ -200,7 +268,12 @@ IDENTITY_KEYS = {"n", "samples", "lanes", "units", "samples_per_unit",
                  # change (makespans and win bits may drift; the absolute
                  # WinRateGate below owns those).
                  "cell", "cells", "mode", "schedulers", "tie_tolerance",
-                 "total_grains", "replay"}
+                 "total_grains", "replay",
+                 # bench_kdisp identity: the family roster and the
+                 # cross-variant bit-identity claim hold on every machine
+                 # (per-variant timings and resolved ISAs do not and are
+                 # left unkeyed).
+                 "family", "isa_identical", "variants"}
 
 
 def fail(errors, path, message):
@@ -286,6 +359,8 @@ def check_pair(base, fresh, label):
     compare(base, fresh, label, errors)
     if fresh.get("benchmark") == "bench_matrix":
         WinRateGate().check(fresh, errors)
+    if fresh.get("benchmark") == "bench_kdisp":
+        KdispGate().check(fresh, errors)
     return errors
 
 
@@ -474,8 +549,74 @@ def self_test():
          matrix_variant(tie_tolerance=0.1), True),
     ]
 
+    # bench_kdisp cases exercise the absolute KdispGate: the R^2 floor,
+    # the distinct-subset floor, the cross-variant identity claim and the
+    # SIMD-host speedup floor (skipped on scalar-only hosts).
+    def kdisp_fit_row(family, cpu_r2, gpu_r2):
+        return {"family": family, "curve_n": 24, "cpu_r2": cpu_r2,
+                "cpu_terms": "1+x", "gpu_r2": gpu_r2,
+                "gpu_terms": "1+x+ln(x)"}
+
+    kdisp_base = {
+        "benchmark": "bench_kdisp", "hardware_concurrency": 1,
+        "host_isa": "avx512", "effective_isa": "avx512",
+        "simd_host": True, "variants": 13,
+        "fit": [kdisp_fit_row("spmv", 1.0, 0.99),
+                kdisp_fit_row("stencil", 1.0, 0.99),
+                kdisp_fit_row("nbody", 1.0, 0.99),
+                kdisp_fit_row("matmul", 1.0, 0.99)],
+        "fit_r2_min": 0.99, "distinct_subsets": 3,
+        "kernels": [
+            {"family": "spmv", "variant": "spmv_rows_avx2", "isa": "avx2",
+             "scalar_ms": 0.9, "best_ms": 0.7, "kernel_speedup": 1.2,
+             "identical": True},
+            {"family": "gemm", "variant": "gemm_micro_avx2", "isa": "avx2",
+             "scalar_ms": 2.9, "best_ms": 1.3, "kernel_speedup": 2.3,
+             "identical": False, "max_rel_diff": 2e-11},
+        ],
+        "best_isa_speedup": 2.3, "isa_identical": True,
+    }
+
+    def kdisp_variant(fit=None, **overrides):
+        fresh = dict(kdisp_base)
+        if fit is not None:
+            fresh["fit"] = fit
+        fresh.update(overrides)
+        return fresh
+
+    kdisp_cases = [
+        ("identical kdisp passes", kdisp_variant(), False),
+        ("resolved ISA and timings may differ per machine",
+         kdisp_variant(host_isa="avx2", effective_isa="scalar",
+                       best_isa_speedup=1.4), False),
+        ("family R^2 below floor on both classes fails",
+         kdisp_variant(fit=[kdisp_fit_row("spmv", 0.8, 0.9)] +
+                       kdisp_base["fit"][1:]), True),
+        ("low CPU R^2 passes while the GPU class fits",
+         kdisp_variant(fit=[kdisp_fit_row("spmv", 0.5, 0.99)] +
+                       kdisp_base["fit"][1:]), False),
+        ("collapsed subset diversity fails",
+         kdisp_variant(distinct_subsets=1), True),
+        ("diverged reduction-family results fail",
+         kdisp_variant(isa_identical=False), True),
+        ("speedup under floor on a SIMD host fails",
+         kdisp_variant(best_isa_speedup=1.1), True),
+        ("speedup ~1 on a scalar-only host passes",
+         kdisp_variant(simd_host=False, best_isa_speedup=1.0), False),
+        ("blown-up gemm residual fails",
+         kdisp_variant(kernels=[kdisp_base["kernels"][0],
+                                dict(kdisp_base["kernels"][1],
+                                     max_rel_diff=0.5)]), True),
+        ("renamed family fails identity",
+         kdisp_variant(fit=[kdisp_fit_row("spmv2", 1.0, 0.99)] +
+                       kdisp_base["fit"][1:]), True),
+        ("shrunk variant roster fails identity",
+         kdisp_variant(variants=9), True),
+    ]
+
     failures = 0
-    for table, base_doc in ((cases, baseline), (matrix_cases, matrix_base)):
+    for table, base_doc in ((cases, baseline), (matrix_cases, matrix_base),
+                            (kdisp_cases, kdisp_base)):
         for label, fresh, must_flag in table:
             flagged = bool(check_pair(base_doc, fresh, "self-test"))
             status = "ok" if flagged == must_flag else "FAIL"
@@ -492,7 +633,7 @@ def self_test():
         failures += 1
     print(f"  {status}: missing bench JSON exits 1 (rc={rc})")
 
-    total = len(cases) + len(matrix_cases) + 1
+    total = len(cases) + len(matrix_cases) + len(kdisp_cases) + 1
     if failures:
         print(f"self-test FAILED ({failures} case(s))")
         return 1
