@@ -1,0 +1,44 @@
+#include "plbhec/adapt/robust.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "plbhec/common/contracts.hpp"
+
+namespace plbhec::adapt {
+
+std::optional<fit::Sample> BlockMinFilter::push(double x, double time) {
+  PLBHEC_EXPECTS(x > 0.0);
+  if (block_ <= 1) return fit::Sample{x, time};
+
+  const double cost = time / x;
+  if (pending_ == 0 || cost < best_cost_) {
+    best_ = {x, time};
+    best_cost_ = cost;
+  }
+  if (++pending_ < block_) return std::nullopt;
+  pending_ = 0;
+  return best_;
+}
+
+std::optional<fit::Sample> BlockMinFilter::flush() {
+  if (pending_ == 0) return std::nullopt;
+  pending_ = 0;
+  return best_;
+}
+
+void BlockMinFilter::reset() { pending_ = 0; }
+
+double trimmed_mean(std::vector<double> xs, double trim) {
+  PLBHEC_EXPECTS(trim >= 0.0 && trim < 0.5);
+  if (xs.empty()) return 0.0;
+  std::sort(xs.begin(), xs.end());
+  const auto cut = static_cast<std::size_t>(
+      std::ceil(trim * static_cast<double>(xs.size())));
+  if (2 * cut >= xs.size()) return 0.0;
+  double sum = 0.0;
+  for (std::size_t i = cut; i < xs.size() - cut; ++i) sum += xs[i];
+  return sum / static_cast<double>(xs.size() - 2 * cut);
+}
+
+}  // namespace plbhec::adapt

@@ -27,16 +27,14 @@ linalg::Matrix design_matrix(const SampleSet& samples,
   return a;
 }
 
-double compute_bic(double rss, std::size_t n, std::size_t k) {
-  const double nn = static_cast<double>(n);
+double compute_bic(double rss, double nn, std::size_t k) {
   const double safe_rss = std::max(rss, 1e-300);
   return nn * std::log(safe_rss / nn) +
          static_cast<double>(k) * std::log(nn);
 }
 
-/// Physics check: time curves must stay non-negative and must not decrease
-/// substantially anywhere on (x_lo, 1]. Small local dips (< 5% of the
-/// curve's range) are tolerated as fit noise.
+}  // namespace
+
 bool physically_plausible(const CurveModel& model, double x_lo) {
   constexpr std::size_t kGrid = 48;
   double prev = 0.0;
@@ -60,6 +58,8 @@ bool physically_plausible(const CurveModel& model, double x_lo) {
   const double range = hi - lo;
   return worst_drop <= 0.05 * std::max(range, 1e-300);
 }
+
+namespace {
 
 /// Legacy path: rebuild the design matrix and solve by Householder QR with
 /// column equilibration. O(n k^2) per fit.
@@ -98,20 +98,21 @@ std::optional<FitResult> fit_terms_qr(const SampleSet& samples,
     const double d = observed[r] - predicted[r];
     rss += d * d;
   }
-  result.bic = compute_bic(rss, samples.size(), terms.size());
+  result.bic =
+      compute_bic(rss, static_cast<double>(samples.size()), terms.size());
   return result;
 }
 
-/// Fast path: solve the k x k sub-Gram system assembled from the sample
-/// set's incrementally maintained moments, recovering RSS/R^2/BIC from the
-/// cached unweighted moments. O(k^3) per fit, independent of sample count.
-/// Returns nullopt when the equilibrated sub-Gram is too ill-conditioned to
-/// certify ~1e-9 agreement with QR (the e^x family near x -> 1); the caller
-/// then falls back to the design-matrix path.
-std::optional<FitResult> fit_terms_gram(const SampleSet& samples,
+/// Fast path: solve the k x k sub-Gram system assembled from incrementally
+/// maintained moments, recovering RSS/R^2/BIC from the cached unweighted
+/// moments. O(k^3) per fit, independent of sample count. Returns nullopt
+/// when the equilibrated sub-Gram is too ill-conditioned to certify ~1e-9
+/// agreement with QR (the e^x family near x -> 1); the SampleSet caller
+/// then falls back to the design-matrix path. `n` is the (possibly
+/// fractional, for discounted windows) sample mass behind the moments.
+std::optional<FitResult> fit_terms_gram(const MomentSet& m, double n,
                                         std::span<const BasisFn> terms,
                                         bool relative_weighting) {
-  const MomentSet& m = samples.moments();
   const std::size_t k = terms.size();
 
   linalg::Matrix g(k, k);
@@ -142,7 +143,6 @@ std::optional<FitResult> fit_terms_gram(const SampleSet& samples,
     ctgc += c[i] * gc;
   }
   const double yty = m.yty();
-  const double n = static_cast<double>(samples.size());
   const double rss = std::max(yty - 2.0 * ctb + ctgc, 0.0);
   const double tss = yty - m.sum_y() * m.sum_y() / n;
 
@@ -154,7 +154,7 @@ std::optional<FitResult> fit_terms_gram(const SampleSet& samples,
   else
     result.r2 = 1.0 - rss / tss;
   result.model.r2 = result.r2;
-  result.bic = compute_bic(rss, samples.size(), k);
+  result.bic = compute_bic(rss, n, k);
   return result;
 }
 
@@ -170,7 +170,9 @@ std::optional<FitResult> fit_terms(const SampleSet& samples,
       engine == FitEngine::kGram ||
       (engine == FitEngine::kAuto && samples.size() >= kGramMinSamples);
   if (try_gram) {
-    if (auto fitted = fit_terms_gram(samples, terms, relative_weighting)) {
+    if (auto fitted =
+            fit_terms_gram(samples.moments(), static_cast<double>(samples.size()),
+                           terms, relative_weighting)) {
       if (counters) ++counters->gram_solves;
       return fitted;
     }
@@ -178,6 +180,14 @@ std::optional<FitResult> fit_terms(const SampleSet& samples,
   }
   if (counters) ++counters->qr_solves;
   return fit_terms_qr(samples, terms, relative_weighting);
+}
+
+std::optional<FitResult> fit_terms(const MomentSet& moments, double effective_n,
+                                   std::span<const BasisFn> terms,
+                                   bool relative_weighting) {
+  if (terms.empty() || effective_n < static_cast<double>(terms.size()))
+    return std::nullopt;
+  return fit_terms_gram(moments, effective_n, terms, relative_weighting);
 }
 
 FitResult select_model_from(const SampleSet& samples,

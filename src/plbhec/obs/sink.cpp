@@ -29,6 +29,8 @@ const char* to_string(EventKind kind) {
     case EventKind::kReconnect: return "reconnect";
     case EventKind::kShardMigration: return "shard_migration";
     case EventKind::kKernelDispatch: return "kernel_dispatch";
+    case EventKind::kDriftDetected: return "drift_detected";
+    case EventKind::kReprobeSwap: return "reprobe_swap";
   }
   return "unknown";
 }
@@ -82,6 +84,10 @@ std::array<const char*, 4> arg_names(EventKind kind) {
       return {nullptr, nullptr, "from_shard", "to_shard"};
     case EventKind::kKernelDispatch:
       return {"width", nullptr, "isa", "kernel_hash"};
+    case EventKind::kDriftDetected:
+      return {"cusum_stat", "residual", "observations", "trip"};
+    case EventKind::kReprobeSwap:
+      return {"r2", nullptr, "window_samples", "ladder_blocks"};
   }
   return {nullptr, nullptr, nullptr, nullptr};
 }

@@ -23,6 +23,12 @@ void stretch(Clock::time_point start, double measured_s, double factor) {
 
 LocalExecUnit::LocalExecUnit(Options options) : options_(std::move(options)) {
   PLBHEC_EXPECTS(options_.slowdown >= 1.0);
+  slowdown_.store(options_.slowdown, std::memory_order_relaxed);
+}
+
+void LocalExecUnit::set_slowdown(double slowdown) {
+  PLBHEC_EXPECTS(slowdown >= 1.0);
+  slowdown_.store(slowdown, std::memory_order_relaxed);
 }
 
 UnitInfo LocalExecUnit::describe() const {
@@ -58,7 +64,7 @@ bool LocalExecUnit::execute(Workload& workload, std::size_t begin,
   workload.execute_cpu(begin, end);
   const double exec_s =
       std::chrono::duration<double>(Clock::now() - t_exec).count();
-  stretch(t_exec, exec_s, options_.slowdown);
+  stretch(t_exec, exec_s, slowdown_.load(std::memory_order_relaxed));
   timing.exec_seconds =
       std::chrono::duration<double>(Clock::now() - t_exec).count();
   return true;

@@ -8,6 +8,7 @@
 /// (net::RemoteUnit) — the scheduler sees identical TaskObservations either
 /// way, which is what lets G_p(x) be fitted from measured wire time.
 
+#include <atomic>
 #include <cstddef>
 #include <string>
 #include <vector>
@@ -70,8 +71,18 @@ class LocalExecUnit final : public ExecUnit {
   [[nodiscard]] bool execute(Workload& workload, std::size_t begin,
                              std::size_t end, BlockTiming& timing) override;
 
+  /// Changes the busy-stretch factor mid-run (>= 1.0). Safe to call from
+  /// another thread while the engine's worker executes on this unit — the
+  /// drift-injection stimulus for real-execution benchmarks; blocks in
+  /// flight finish at whichever factor they load first.
+  void set_slowdown(double slowdown);
+  [[nodiscard]] double slowdown() const {
+    return slowdown_.load(std::memory_order_relaxed);
+  }
+
  private:
   Options options_;
+  std::atomic<double> slowdown_{1.0};
   std::vector<unsigned char> staging_;
 };
 

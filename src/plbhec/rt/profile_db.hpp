@@ -33,6 +33,11 @@ struct WarmProfile {
   std::vector<fit::Sample> transfer;
   double total_grains = 0.0;  ///< grain denominator of the sample x-values
   double stored_r2 = 0.0;     ///< exec-fit R^2 the store recorded
+  /// Staleness of the stored entry, in store writes: how many profiles the
+  /// store has persisted (across all keys) since this one was last
+  /// refreshed. 0 = just written (or an in-run profile). The scheduler's
+  /// warm-start validation bound tightens with this.
+  std::uint64_t age = 0;
   fit::MomentSnapshot exec_moments;
   fit::MomentSnapshot transfer_moments;
   bool has_moments = false;

@@ -262,6 +262,10 @@ struct ServiceSim {
     out.probe_blocks_saved += s.probe_blocks_saved;
     out.warm_hits += s.warm_hits;
     out.warm_misses += s.warm_misses;
+    out.warm_stale_skips += s.warm_stale_skips;
+    out.drift_detections += s.drift_detections;
+    out.reprobe_blocks += s.reprobe_blocks;
+    out.reprobe_swaps += s.reprobe_swaps;
     job.plb = nullptr;
   }
 
@@ -1007,6 +1011,10 @@ struct ServiceSim {
       res.probe_blocks_saved += out.probe_blocks_saved;
       res.warm_hits += out.warm_hits;
       res.warm_misses += out.warm_misses;
+      res.warm_stale_skips += out.warm_stale_skips;
+      res.drift_detections += out.drift_detections;
+      res.reprobe_blocks += out.reprobe_blocks;
+      res.reprobe_swaps += out.reprobe_swaps;
     }
     if (res.makespan > 0.0 && n > 0) {
       res.utilization =
@@ -1054,6 +1062,10 @@ ServiceResult JobManager::run() {
     reg->add("svc.scheduler_restarts", sim.res.scheduler_restarts);
     reg->add("svc.warmstart.hits", sim.res.warm_hits);
     reg->add("svc.warmstart.misses", sim.res.warm_misses);
+    reg->add("svc.warmstart.stale_skips", sim.res.warm_stale_skips);
+    reg->add("svc.adapt.drift_detections", sim.res.drift_detections);
+    reg->add("svc.adapt.reprobe_blocks", sim.res.reprobe_blocks);
+    reg->add("svc.adapt.reprobe_swaps", sim.res.reprobe_swaps);
     reg->add("svc.probe_blocks", sim.res.probe_blocks);
     reg->add("svc.probe_blocks_saved", sim.res.probe_blocks_saved);
     reg->add("svc.shards", sim.res.shards_used);

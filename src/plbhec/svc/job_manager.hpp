@@ -82,6 +82,10 @@ struct JobOutcome {
   std::size_t probe_blocks_saved = 0; ///< skipped via warm starts
   std::size_t warm_hits = 0;
   std::size_t warm_misses = 0;
+  std::size_t warm_stale_skips = 0;   ///< warm seeds dropped for staleness
+  std::size_t drift_detections = 0;   ///< CUSUM trips across its schedulers
+  std::size_t reprobe_blocks = 0;     ///< targeted re-probe ladder blocks
+  std::size_t reprobe_swaps = 0;      ///< refreshed fits swapped in
   std::size_t lease_restarts = 0;  ///< drain-and-regrow scheduler restarts
   std::size_t max_units_held = 0;
   bool ok = false;
@@ -105,6 +109,10 @@ struct ServiceResult {
   std::size_t probe_blocks_saved = 0;
   std::size_t warm_hits = 0;
   std::size_t warm_misses = 0;
+  std::size_t warm_stale_skips = 0;
+  std::size_t drift_detections = 0;
+  std::size_t reprobe_blocks = 0;
+  std::size_t reprobe_swaps = 0;
   StoreLoadStatus store_status = StoreLoadStatus::kMissing;
   std::size_t shards_used = 1;        ///< effective shard-loop count
   std::size_t broker_rounds = 0;      ///< barrier synchronisations (shards > 1)

@@ -197,6 +197,7 @@ const ProfileEntry* ProfileStore::find(std::string_view app_kind,
 }
 
 void ProfileStore::put(ProfileEntry entry) {
+  entry.stamp = ++seq_;
   const auto it =
       std::lower_bound(entries_.begin(), entries_.end(), nullptr,
                        [&](const ProfileEntry& e, std::nullptr_t) {
@@ -228,6 +229,8 @@ rt::WarmProfile ProfileStore::warm_profile(
   warm.exec_moments = entry->exec_moments;
   warm.transfer_moments = entry->transfer_moments;
   warm.has_moments = true;
+  PLBHEC_ASSERT(entry->stamp <= seq_);
+  warm.age = seq_ - entry->stamp;
   return warm;
 }
 
@@ -235,12 +238,14 @@ std::vector<std::uint8_t> ProfileStore::encode() const {
   std::vector<std::uint8_t> payload;
   Writer w{payload};
   w.u32(static_cast<std::uint32_t>(entries_.size()));
+  w.u64(seq_);
   for (const ProfileEntry& e : entries_) {
     w.str(e.app_kind);
     w.str(e.device_kind);
     w.f64(e.total_grains);
     w.f64(e.stored_r2);
     w.u64(e.updates);
+    w.u64(e.stamp);
     w.samples(e.exec);
     w.samples(e.transfer);
     w.moments(e.exec_moments);
@@ -263,6 +268,7 @@ std::vector<std::uint8_t> ProfileStore::encode() const {
 StoreLoadStatus ProfileStore::decode(std::span<const std::uint8_t> bytes,
                                      ProfileStore& out) {
   out.entries_.clear();
+  out.seq_ = 0;
   if (bytes.size() < sizeof kMagic) return StoreLoadStatus::kTruncated;
   if (std::memcmp(bytes.data(), kMagic, sizeof kMagic) != 0) {
     return StoreLoadStatus::kBadMagic;
@@ -295,6 +301,7 @@ StoreLoadStatus ProfileStore::decode(std::span<const std::uint8_t> bytes,
 
   Reader r{payload};
   const std::uint32_t count = r.u32();
+  const std::uint64_t seq = r.u64();
   if (!r.ok || count > kMaxEntries) return StoreLoadStatus::kCorrupt;
 
   std::vector<ProfileEntry> entries;
@@ -306,6 +313,8 @@ StoreLoadStatus ProfileStore::decode(std::span<const std::uint8_t> bytes,
     e.total_grains = r.f64();
     e.stored_r2 = r.f64();
     e.updates = r.u64();
+    e.stamp = r.u64();
+    if (r.ok && e.stamp > seq) r.ok = false;  // stamp ahead of the counter
     r.samples(e.exec);
     r.samples(e.transfer);
     r.moments(e.exec_moments, e.exec.size());
@@ -327,6 +336,7 @@ StoreLoadStatus ProfileStore::decode(std::span<const std::uint8_t> bytes,
   }
 
   out.entries_ = std::move(entries);
+  out.seq_ = seq;
   return StoreLoadStatus::kOk;
 }
 
@@ -353,6 +363,7 @@ bool ProfileStore::save(const std::string& path) const {
 StoreLoadStatus ProfileStore::load(const std::string& path,
                                    ProfileStore& out) {
   out.entries_.clear();
+  out.seq_ = 0;
   std::FILE* f = std::fopen(path.c_str(), "rb");
   if (f == nullptr) return StoreLoadStatus::kMissing;
   std::vector<std::uint8_t> bytes;

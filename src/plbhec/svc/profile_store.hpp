@@ -12,14 +12,16 @@
 ///   +0   magic      8 bytes  "PLBHECPS"
 ///   +8   version    u32      kFormatVersion
 ///   +12  payload    u64      byte length of the payload that follows
-///   +20  payload    ...      u32 entry count, then the entries
+///   +20  payload    ...      u32 entry count, u64 write sequence, entries
 ///   end  checksum   u64      FNV-1a 64 over the payload bytes
 ///
 /// A reader rejects — without crashing and without partially applying —
 /// truncated files, wrong magic, version skew, checksum mismatches and
 /// structurally corrupt payloads; the service then falls back to cold
-/// probing. Entries are kept sorted by key so the encoding is a pure
-/// function of the store contents (bit-identical across merge orders).
+/// probing. Entries are kept sorted by key so lookup and iteration order
+/// are a pure function of the contents. (Staleness stamps record local
+/// write order, so two stores merged in different orders hold the same
+/// profiles but may encode different stamps.)
 
 #include <cstdint>
 #include <span>
@@ -56,6 +58,11 @@ struct ProfileEntry {
   double total_grains = 0.0;  ///< grain denominator of the sample x-values
   double stored_r2 = 0.0;     ///< exec-fit R^2 at persist time
   std::uint64_t updates = 0;  ///< times this key has been refreshed
+  /// Store write sequence at the last refresh of this key. The owning
+  /// store's sequence() minus this is the entry's age — how many other
+  /// profile writes landed since this one was current — which the
+  /// warm-start validation gate uses to tighten acceptance with staleness.
+  std::uint64_t stamp = 0;
   std::vector<fit::Sample> exec;
   std::vector<fit::Sample> transfer;
   fit::MomentSnapshot exec_moments;
@@ -76,12 +83,15 @@ struct ProfileEntry {
 
 class ProfileStore {
  public:
-  static constexpr std::uint32_t kFormatVersion = 1;
+  static constexpr std::uint32_t kFormatVersion = 2;
   /// Per-curve sample cap; bounds file size under repeated merging.
   static constexpr std::size_t kMaxSamplesPerCurve = 64;
 
   [[nodiscard]] std::size_t size() const { return entries_.size(); }
   [[nodiscard]] bool empty() const { return entries_.empty(); }
+  /// Monotonic write counter; put() stamps each entry with its value, so
+  /// sequence() - entry.stamp is that entry's staleness age.
+  [[nodiscard]] std::uint64_t sequence() const { return seq_; }
   [[nodiscard]] const std::vector<ProfileEntry>& entries() const {
     return entries_;
   }
@@ -91,7 +101,8 @@ class ProfileStore {
                                          std::string_view device_kind) const;
 
   /// Inserts or replaces the entry with the same key, preserving the
-  /// superseded entry's update count. Entries stay sorted by key.
+  /// superseded entry's update count and stamping the new entry with the
+  /// advanced write sequence. Entries stay sorted by key.
   void put(ProfileEntry entry);
 
   /// Merges every entry of `other` into this store (put() per entry, so
@@ -120,6 +131,7 @@ class ProfileStore {
 
  private:
   std::vector<ProfileEntry> entries_;  ///< sorted by (app_kind, device_kind)
+  std::uint64_t seq_ = 0;              ///< monotonic write counter
 };
 
 }  // namespace plbhec::svc

@@ -820,7 +820,8 @@ TEST(Pipeline, EngineRunPublishesWireAndOverlapCounters) {
   obs::CounterRegistry reg;
   p1->publish_counters(reg);
   p2->publish_counters(reg);
-  core::publish_transfer_models(reg, plb.models());
+  core::publish_transfer_models(reg, plb.models(),
+                                core::PlbHecOptions{}.overlap_smoothing);
   EXPECT_EQ(reg.value("net.wd1.chunks_pipelined"),
             p1->wire_stats().chunks_pipelined);
   EXPECT_EQ(reg.value("net.wd2.chunks_pipelined"),
